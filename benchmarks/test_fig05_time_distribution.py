@@ -1,0 +1,43 @@
+"""Fig 5: GPU time split across neighbor search (N), aggregation (A)
+and feature computation (F) for the original algorithm.
+
+The paper's characterization: N and F are the major bottlenecks
+everywhere; A is small; DGCNN is the most search-bound because its
+modules search high-dimensional feature spaces.
+"""
+
+from conftest import print_table
+
+from repro.hw import TX2_GPU
+from repro.networks import PROFILED_NETWORKS
+
+
+def test_fig5_time_distribution(benchmark, traces):
+    def run():
+        out = {}
+        for name in PROFILED_NETWORKS:
+            result = TX2_GPU.run(traces[name]["original"])
+            out[name] = {p: result.phase_percent(p) for p in "NAFO"}
+        return out
+
+    split = benchmark(run)
+    print_table(
+        "Fig 5: time distribution (%), original algorithm on GPU",
+        ["Network", "N", "A", "F", "Others"],
+        [
+            (n, *(f"{split[n][p]:.1f}" for p in "NAFO"))
+            for n in PROFILED_NETWORKS
+        ],
+    )
+    for name in PROFILED_NETWORKS:
+        s = split[name]
+        # N and F together dominate the runtime.
+        assert s["N"] + s["F"] > 75.0, name
+        # Aggregation is a minor cost in the original algorithm.
+        assert s["A"] < 15.0, name
+    # DGCNN is the most neighbor-search-bound network family.
+    assert split["DGCNN (s)"]["N"] > split["PointNet++ (s)"]["N"]
+    assert split["DGCNN (c)"]["N"] > split["PointNet++ (c)"]["N"]
+    # PointNet++/F-PointNet lean toward feature computation.
+    assert split["PointNet++ (c)"]["F"] > 40.0
+    assert split["F-PointNet"]["F"] > 40.0

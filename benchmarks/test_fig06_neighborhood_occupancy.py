@@ -1,0 +1,75 @@
+"""Fig 6: distribution of the number of neighborhoods each point
+occurs in, for PointNet++ and DGCNN over 32 input clouds.
+
+The paper: in PointNet++ over half the points occur in more than 30
+neighborhoods; in DGCNN over half occur in about 20 — this is the
+redundancy delayed-aggregation removes.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.data import SyntheticModelNet
+from repro.neighbors import (
+    knn_brute_force,
+    neighborhood_occupancy,
+    random_sampling,
+)
+
+N_INPUTS = 32
+
+
+def _occupancy(n_points, n_centroids, k, clouds):
+    counts = []
+    rng = np.random.default_rng(0)
+    for cloud in clouds:
+        if n_centroids < n_points:
+            centroids = random_sampling(cloud, n_centroids, rng=rng)
+        else:
+            centroids = np.arange(n_points)
+        idx, _ = knn_brute_force(cloud, cloud[centroids], k)
+        counts.append(neighborhood_occupancy(idx, n_points))
+    return np.stack(counts)
+
+
+def test_fig6_occupancy(benchmark):
+    ds = SyntheticModelNet(
+        num_classes=8, n_points=1024, train_per_class=4, test_per_class=0,
+        seed=3,
+    )
+    clouds = ds.train_clouds[:N_INPUTS]
+
+    def run():
+        # PointNet++ first module: 512 centroids, K=32 over 1024 points.
+        pnpp = _occupancy(1024, 512, 32, clouds)
+        # DGCNN: every point a centroid, K=20, four modules' searches.
+        dgcnn = _occupancy(1024, 1024, 20, clouds) * 4
+        return pnpp, dgcnn
+
+    pnpp, dgcnn = benchmark(run)
+    print_table(
+        "Fig 6: neighborhood occupancy",
+        ["Workload", "mean", "median", "p90", ">1 nbhd (%)"],
+        [
+            (
+                "PointNet++ (module 1)",
+                f"{pnpp.mean():.1f}",
+                f"{np.median(pnpp):.0f}",
+                f"{np.percentile(pnpp, 90):.0f}",
+                f"{(pnpp > 1).mean() * 100:.0f}",
+            ),
+            (
+                "DGCNN (4 modules)",
+                f"{dgcnn.mean():.1f}",
+                f"{np.median(dgcnn):.0f}",
+                f"{np.percentile(dgcnn, 90):.0f}",
+                f"{(dgcnn > 1).mean() * 100:.0f}",
+            ),
+        ],
+    )
+    # Most points belong to many overlapping neighborhoods — the paper's
+    # "20 to 100 neighborhoods" regime once all modules are counted.
+    assert pnpp.mean() > 10
+    assert dgcnn.mean() > 20
+    # The sum identity: total occupancy = centroids * K per search.
+    np.testing.assert_equal(pnpp.sum(axis=1), np.full(N_INPUTS, 512 * 32))

@@ -1,0 +1,42 @@
+"""Fig 7: MAC operations of point cloud networks (130K-point frames)
+vs conventional CNNs (~130K-pixel frames).
+
+The paper: at matched "resolution", feature computation in point cloud
+networks costs an order of magnitude more MACs than classic CNNs.
+"""
+
+from conftest import print_table
+
+from repro.networks import PROFILED_NETWORKS, build_network
+from repro.profiling import CNN_MODELS
+
+PIXELS = 130_000
+
+
+def test_fig7_mac_comparison(benchmark):
+    def run():
+        cnn = {
+            name: factory().macs_at_pixels(PIXELS)
+            for name, factory in CNN_MODELS.items()
+        }
+        pc = {}
+        for name in PROFILED_NETWORKS:
+            canonical = build_network(name)
+            scaled = build_network(name, scale=PIXELS / canonical.paper_n_points)
+            pc[name] = scaled.trace("original").mlp_macs()
+        return cnn, pc
+
+    cnn, pc = benchmark(run)
+    rows = [(n, f"{m / 1e9:.1f}", "CNN") for n, m in cnn.items()]
+    rows += [(n, f"{m / 1e9:.1f}", "Point cloud") for n, m in pc.items()]
+    print_table("Fig 7: MAC ops (GMACs) at ~130K points/pixels",
+                ["Workload", "GMACs", "Family"], rows)
+    # Order-of-magnitude gap between the families (geometric means).
+    from conftest import geomean
+
+    assert geomean(pc.values()) > 5 * geomean(cnn.values())
+    # Every point cloud network out-costs every CNN except YOLOv2-sized
+    # detectors vs the smallest point network; the max-vs-max and
+    # min-vs-min orderings must hold.
+    assert max(pc.values()) > 10 * max(cnn.values())
+    assert min(pc.values()) > min(cnn.values())

@@ -1,0 +1,71 @@
+"""Fig 10: distribution of per-layer MLP output (activation) sizes with
+and without delayed-aggregation.
+
+The paper: original layer outputs commonly exceed 2 MB and reach 32 MB
+— far beyond on-chip buffers — while delayed-aggregation shrinks them
+to the 512 KB - 1 MB regime, small enough to buffer on chip.
+"""
+
+from conftest import print_table
+
+from repro.networks import PROFILED_NETWORKS, build_network
+from repro.profiling import MatMulOp
+from repro.profiling.cost_model import layer_size_stats_from_sizes
+
+MB = 2 ** 20
+KB = 2 ** 10
+
+
+def _module_layer_sizes(name, trace):
+    """Activation sizes of the *module* MLP layers (what Fig 10 plots;
+    the network-tail embeddings/heads are identical in both variants)."""
+    net = build_network(name)
+    module_names = {m.spec.name for m in net.encoder}
+    module_names |= {m.spec.name for m in getattr(net, "box_encoder", [])}
+    return [
+        op.output_bytes
+        for op in trace.by_type(MatMulOp)
+        if op.phase == "F" and op.module in module_names
+    ]
+
+
+def test_fig10_layer_sizes(benchmark, traces):
+    def run():
+        return {
+            name: (
+                layer_size_stats_from_sizes(
+                    _module_layer_sizes(name, traces[name]["original"])
+                ),
+                layer_size_stats_from_sizes(
+                    _module_layer_sizes(name, traces[name]["delayed"])
+                ),
+            )
+            for name in PROFILED_NETWORKS
+        }
+
+    stats = benchmark(run)
+    rows = []
+    for name in PROFILED_NETWORKS:
+        orig, delayed = stats[name]
+        rows.append(
+            (
+                name,
+                f"{orig['min'] / KB:.0f}K..{orig['max'] / MB:.1f}M",
+                f"{delayed['min'] / KB:.0f}K..{delayed['max'] / KB:.0f}K",
+                f"{orig['max'] / delayed['max']:.1f}x",
+            )
+        )
+    print_table(
+        "Fig 10: layer output size range (original vs delayed)",
+        ["Network", "Original", "Delayed", "Max shrink"],
+        rows,
+    )
+    for name in PROFILED_NETWORKS:
+        orig, delayed = stats[name]
+        # Original activations blow past typical on-chip capacity...
+        assert orig["max"] > 1.5 * MB, name
+        # ...delayed ones fit comfortably on chip.
+        assert delayed["max"] <= 1.5 * MB, name
+        assert delayed["max"] < orig["max"]
+    # The headline cases reach the paper's multi-MB regime.
+    assert max(s[0]["max"] for s in stats.values()) > 4 * MB

@@ -1,0 +1,41 @@
+"""Fig 11: PointNet++ (s) time across N / A / F, original vs delayed.
+
+Paper measurements (ms): N 9.8 -> 9.5, A 0.8 -> 3.9, F 24.9 -> 7.8.
+The shape: F shrinks several-fold, N stays put, A grows several-fold
+and emerges as the new bottleneck (motivating the AU).
+"""
+
+from conftest import print_table
+
+from repro.hw import TX2_GPU
+
+
+def test_fig11_breakdown(benchmark, traces):
+    def run():
+        orig = TX2_GPU.run(traces["PointNet++ (s)"]["original"])
+        delayed = TX2_GPU.run(traces["PointNet++ (s)"]["delayed"])
+        return orig, delayed
+
+    orig, delayed = benchmark(run)
+    paper = {"N": (9.8, 9.5), "A": (0.8, 3.9), "F": (24.9, 7.8)}
+    print_table(
+        "Fig 11: PointNet++ (s) phase times (ms)",
+        ["Phase", "Original", "Delayed", "Paper orig", "Paper delayed"],
+        [
+            (
+                p,
+                f"{orig.phase_times[p] * 1e3:.1f}",
+                f"{delayed.phase_times[p] * 1e3:.1f}",
+                paper[p][0],
+                paper[p][1],
+            )
+            for p in "NAF"
+        ],
+    )
+    # Neighbor search time roughly unchanged (same searches run).
+    ratio_n = delayed.phase_times["N"] / orig.phase_times["N"]
+    assert 0.8 < ratio_n < 1.2
+    # Feature computation shrinks by at least 2x.
+    assert orig.phase_times["F"] > 2 * delayed.phase_times["F"]
+    # Aggregation grows by at least 2x and becomes non-negligible.
+    assert delayed.phase_times["A"] > 2 * orig.phase_times["A"]

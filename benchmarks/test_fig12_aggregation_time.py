@@ -1,0 +1,54 @@
+"""Fig 12: absolute and relative aggregation time, original vs delayed.
+
+The paper: aggregation time consistently increases in all five
+networks; on average its share of runtime grows from ~3% to ~24%
+(delayed-aggregation shrinks everything else while making the gather
+work on a bigger table).
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.hw import TX2_GPU
+from repro.networks import PROFILED_NETWORKS
+
+
+def test_fig12_aggregation_time(benchmark, traces):
+    def run():
+        out = {}
+        for name in PROFILED_NETWORKS:
+            orig = TX2_GPU.run(traces[name]["original"])
+            delayed = TX2_GPU.run(traces[name]["delayed"])
+            out[name] = (
+                orig.phase_times["A"],
+                delayed.phase_times["A"],
+                orig.phase_percent("A"),
+                delayed.phase_percent("A"),
+            )
+        return out
+
+    data = benchmark(run)
+    print_table(
+        "Fig 12: aggregation time, original vs delayed",
+        ["Network", "Orig (ms)", "Delayed (ms)", "Orig (%)", "Delayed (%)"],
+        [
+            (
+                n,
+                f"{data[n][0] * 1e3:.2f}",
+                f"{data[n][1] * 1e3:.2f}",
+                f"{data[n][2]:.1f}",
+                f"{data[n][3]:.1f}",
+            )
+            for n in PROFILED_NETWORKS
+        ],
+    )
+    for name in PROFILED_NETWORKS:
+        abs_orig, abs_delayed, rel_orig, rel_delayed = data[name]
+        # Absolute and relative aggregation time both increase.
+        assert abs_delayed > abs_orig, name
+        assert rel_delayed > rel_orig, name
+    # Average relative share grows several-fold (paper: 3% -> 24%).
+    avg_orig = np.mean([data[n][2] for n in PROFILED_NETWORKS])
+    avg_delayed = np.mean([data[n][3] for n in PROFILED_NETWORKS])
+    assert avg_delayed > 3 * avg_orig
+    assert avg_orig < 10.0

@@ -1,0 +1,138 @@
+"""Fig 16: accuracy of networks trained with delayed-aggregation vs the
+original algorithm.
+
+Paper: retraining absorbs the approximation — accuracies match within
+-0.9% to +1.2% across the seven networks.  We retrain scaled-down
+instances on the synthetic datasets under both strategies and compare.
+The claim under test is *parity* (delayed-aggregation trains to the
+same regime as the original), plus learnability (both variants fit the
+training split); absolute test accuracy at this toy scale is limited by
+the tiny training sets and is reported for transparency only.
+"""
+
+import numpy as np
+import pytest
+from conftest import print_table
+
+from repro.data import SyntheticFrustum, SyntheticModelNet, SyntheticShapeNet
+from repro.networks import (
+    build_network,
+    evaluate_classifier,
+    evaluate_detector,
+    evaluate_segmenter,
+    train_classifier,
+    train_detector,
+    train_segmenter,
+)
+
+SCALE = 0.0625  # 64-point PointNet++ inputs; keeps training fast
+EPOCHS = 10
+LR = 1e-3
+
+CLS_NETS = ("PointNet++ (c)", "DGCNN (c)", "LDGCNN", "DensePoint")
+
+
+def _classifier_metrics(name, strategy, ds):
+    net = build_network(name, num_classes=4, scale=SCALE,
+                        rng=np.random.default_rng(0))
+    n = net.n_points
+    train = ds.train_clouds[:, :n, :]
+    test = ds.test_clouds[:, :n, :]
+    train_classifier(net, train, ds.train_labels, epochs=EPOCHS, lr=LR,
+                     strategy=strategy, seed=1)
+    return (
+        evaluate_classifier(net, train, ds.train_labels, strategy=strategy),
+        evaluate_classifier(net, test, ds.test_labels, strategy=strategy),
+    )
+
+
+def test_fig16_accuracy(benchmark):
+    def run():
+        rows = {}
+        cls_ds = SyntheticModelNet(
+            num_classes=4, n_points=256, train_per_class=8, test_per_class=4,
+            seed=0, rotate=False,
+        )
+        for name in CLS_NETS:
+            rows[name] = (
+                _classifier_metrics(name, "original", cls_ds),
+                _classifier_metrics(name, "delayed", cls_ds),
+            )
+
+        seg_ds = SyntheticShapeNet(
+            categories=("table", "lamp"), n_points=256,
+            train_per_category=6, test_per_category=2, seed=0, rotate=False,
+        )
+        for name in ("PointNet++ (s)", "DGCNN (s)"):
+            per_strategy = []
+            for strategy in ("original", "delayed"):
+                net = build_network(
+                    name, num_classes=seg_ds.num_classes, scale=SCALE,
+                    rng=np.random.default_rng(0),
+                )
+                n = net.n_points
+                train_segmenter(
+                    net, seg_ds.train_clouds[:, :n], seg_ds.train_labels[:, :n],
+                    epochs=8, lr=LR, strategy=strategy, seed=1,
+                )
+                per_strategy.append((
+                    evaluate_segmenter(
+                        net, seg_ds.train_clouds[:, :n],
+                        seg_ds.train_labels[:, :n], seg_ds.num_classes,
+                        strategy=strategy,
+                    ),
+                    evaluate_segmenter(
+                        net, seg_ds.test_clouds[:, :n],
+                        seg_ds.test_labels[:, :n], seg_ds.num_classes,
+                        strategy=strategy,
+                    ),
+                ))
+            rows[name] = tuple(per_strategy)
+
+        det_ds = SyntheticFrustum(n_samples=10, n_points=256, seed=0)
+        clouds, masks, boxes = det_ds.normalized()
+        per_strategy = []
+        for strategy in ("original", "delayed"):
+            net = build_network(
+                "F-PointNet", scale=0.25, rng=np.random.default_rng(0)
+            )
+            n = net.n_points
+            train_detector(net, clouds[:8, :n], masks[:8, :n], boxes[:8],
+                           epochs=8, lr=LR, strategy=strategy, seed=1)
+            train_acc, _ = evaluate_detector(
+                net, clouds[:8, :n], masks[:8, :n], boxes[:8],
+                strategy=strategy,
+            )
+            test_acc, _ = evaluate_detector(
+                net, clouds[8:, :n], masks[8:, :n], boxes[8:],
+                strategy=strategy,
+            )
+            per_strategy.append((train_acc, test_acc))
+        rows["F-PointNet"] = tuple(per_strategy)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Fig 16: accuracy, original vs delayed-aggregation training "
+        "(train / test)",
+        ["Network", "Original", "Mesorasi", "Test delta"],
+        [
+            (
+                n,
+                f"{o[0]:.2f} / {o[1]:.2f}",
+                f"{d[0]:.2f} / {d[1]:.2f}",
+                f"{(d[1] - o[1]) * 100:+.1f}%",
+            )
+            for n, (o, d) in rows.items()
+        ],
+    )
+    for name, (orig, delayed) in rows.items():
+        # Learnability: delayed-aggregation fits the training split.
+        assert delayed[0] > 0.5, f"{name} failed to fit under delayed"
+        # Parity (the Fig 16 claim): delayed-aggregation's test metric
+        # stays in the original's regime.  The paper sees +-1% at full
+        # scale; toy-scale runs are noisier, so allow a wider band.
+        assert delayed[1] >= orig[1] - 0.25, (name, orig, delayed)
+    # At least half the networks should show near-parity or better.
+    deltas = [d[1] - o[1] for (o, d) in rows.values()]
+    assert sum(1 for x in deltas if x >= -0.05) >= 4

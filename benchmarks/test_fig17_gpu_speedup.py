@@ -1,0 +1,73 @@
+"""Fig 17: speedup and energy reduction of delayed-aggregation on the
+mobile GPU alone (no hardware support), including the limited
+(GNN-style) variant.
+
+Paper averages: Mesorasi 1.6x speedup / 51.1% energy reduction;
+Ltd-Mesorasi only 1.3x / 28.3% because hoisting just the first MVM can
+be applied to one layer only.  On the three single-layer-module
+networks (DGCNN (c), LDGCNN, DensePoint) the two perform alike.
+"""
+
+from conftest import geomean, print_table
+
+from repro.hw import TX2_GPU
+from repro.networks import ALL_NETWORKS
+
+
+def test_fig17_gpu_speedup(benchmark, traces):
+    def run():
+        out = {}
+        for name in ALL_NETWORKS:
+            orig = TX2_GPU.run(traces[name]["original"])
+            delayed = TX2_GPU.run(traces[name]["delayed"])
+            limited = TX2_GPU.run(traces[name]["limited"])
+            out[name] = {
+                "speedup": orig.total_time / delayed.total_time,
+                "ltd_speedup": orig.total_time / limited.total_time,
+                "energy_red": 100 * (1 - delayed.energy / orig.energy),
+                "ltd_energy_red": 100 * (1 - limited.energy / orig.energy),
+            }
+        return out
+
+    data = benchmark(run)
+    print_table(
+        "Fig 17: delayed-aggregation on the GPU",
+        ["Network", "Mesorasi x", "Ltd x", "Mesorasi E-red %", "Ltd E-red %"],
+        [
+            (
+                n,
+                f"{data[n]['speedup']:.2f}",
+                f"{data[n]['ltd_speedup']:.2f}",
+                f"{data[n]['energy_red']:.1f}",
+                f"{data[n]['ltd_energy_red']:.1f}",
+            )
+            for n in ALL_NETWORKS
+        ]
+        + [
+            (
+                "GEOMEAN",
+                f"{geomean(d['speedup'] for d in data.values()):.2f}",
+                f"{geomean(d['ltd_speedup'] for d in data.values()):.2f}",
+                "",
+                "",
+            )
+        ],
+    )
+    mean_speedup = geomean(d["speedup"] for d in data.values())
+    mean_ltd = geomean(d["ltd_speedup"] for d in data.values())
+    # Paper: 1.6x average; accept the same regime.
+    assert 1.2 < mean_speedup < 2.2
+    # Full delayed-aggregation beats the limited variant on average.
+    assert mean_speedup >= mean_ltd
+    for name in ALL_NETWORKS:
+        d = data[name]
+        assert d["speedup"] >= 0.95, name       # never meaningfully slower
+        assert d["speedup"] + 1e-9 >= d["ltd_speedup"] * 0.98, name
+        assert d["energy_red"] > 0, name
+    # Single-MLP-layer-per-module networks: Ltd ~= full Mesorasi.
+    for name in ("DGCNN (c)", "LDGCNN", "DensePoint"):
+        d = data[name]
+        assert abs(d["speedup"] - d["ltd_speedup"]) / d["speedup"] < 0.10, name
+    # Multi-layer networks show a real gap.
+    assert data["PointNet++ (c)"]["speedup"] > \
+        data["PointNet++ (c)"]["ltd_speedup"] * 1.02

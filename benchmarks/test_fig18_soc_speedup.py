@@ -1,0 +1,66 @@
+"""Fig 18: speedup and normalized energy of Mesorasi-SW / Mesorasi-HW
+over the GPU+NPU baseline.
+
+Paper: the baseline itself is ~1.8x faster / ~70% lower-energy than the
+GPU; Mesorasi-SW adds 1.3x / 22% on top; Mesorasi-HW reaches 1.9x
+average (up to 3.6x) speedup and 37.6% average (up to 92.9%) energy
+reduction.  DGCNN (s) benefits least (smallest aggregation share).
+"""
+
+from conftest import geomean, print_table
+
+from repro.networks import ALL_NETWORKS
+
+
+def test_fig18_soc_speedup(benchmark, soc_results):
+    def run():
+        out = {}
+        for name in ALL_NETWORKS:
+            r = soc_results[name]
+            out[name] = {
+                "gpu_x": r["gpu"].latency / r["baseline"].latency,
+                "sw_x": r["baseline"].latency / r["mesorasi_sw"].latency,
+                "hw_x": r["baseline"].latency / r["mesorasi_hw"].latency,
+                "sw_e": r["mesorasi_sw"].energy / r["baseline"].energy,
+                "hw_e": r["mesorasi_hw"].energy / r["baseline"].energy,
+            }
+        return out
+
+    data = benchmark(run)
+    print_table(
+        "Fig 18: speedup (x) and normalized energy vs GPU+NPU baseline",
+        ["Network", "Baseline/GPU x", "SW x", "HW x", "SW E", "HW E"],
+        [
+            (
+                n,
+                f"{data[n]['gpu_x']:.2f}",
+                f"{data[n]['sw_x']:.2f}",
+                f"{data[n]['hw_x']:.2f}",
+                f"{data[n]['sw_e']:.2f}",
+                f"{data[n]['hw_e']:.2f}",
+            )
+            for n in ALL_NETWORKS
+        ]
+        + [
+            (
+                "GEOMEAN",
+                f"{geomean(d['gpu_x'] for d in data.values()):.2f}",
+                f"{geomean(d['sw_x'] for d in data.values()):.2f}",
+                f"{geomean(d['hw_x'] for d in data.values()):.2f}",
+                "",
+                "",
+            )
+        ],
+    )
+    hw_mean = geomean(d["hw_x"] for d in data.values())
+    sw_mean = geomean(d["sw_x"] for d in data.values())
+    base_mean = geomean(d["gpu_x"] for d in data.values())
+    # The baseline is already an optimized platform (paper: ~1.8x GPU).
+    assert base_mean > 1.3
+    # SW helps, HW helps more (paper: 1.3x and 1.9x).
+    assert 1.0 < sw_mean < hw_mean < 3.0
+    assert max(d["hw_x"] for d in data.values()) > 2.0  # "up to 3.6x"
+    # Energy: Mesorasi-HW reduces energy on every network.
+    assert all(d["hw_e"] < 1.0 for d in data.values())
+    # DGCNN (s) gains the least from the AU (paper's observation).
+    assert data["DGCNN (s)"]["hw_x"] == min(d["hw_x"] for d in data.values())

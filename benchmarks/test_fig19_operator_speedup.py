@@ -1,0 +1,63 @@
+"""Fig 19: per-operator gains — feature computation and aggregation.
+
+Paper: (a) delayed-aggregation cuts feature-computation time 5.1x and
+its energy 76.3% (NPU, original vs delayed workload); (b) the AU cuts
+aggregation time 7.5x and its energy 99.4% versus executing the
+(delayed) aggregation on the GPU.
+"""
+
+from conftest import geomean, print_table
+
+from repro.networks import ALL_NETWORKS
+
+
+def test_fig19_operator_speedups(benchmark, soc_results):
+    def run():
+        out = {}
+        for name in ALL_NETWORKS:
+            r = soc_results[name]
+            f_orig = r["baseline"].phase_times["F"]
+            f_delayed = r["mesorasi_hw"].phase_times["F"]
+            a_gpu = r["mesorasi_sw"].phase_times["A"]
+            a_au = r["mesorasi_hw"].phase_times["A"]
+            e_a_gpu = r["mesorasi_sw"].phase_energy["A"]
+            e_a_au = r["mesorasi_hw"].phase_energy["A"]
+            out[name] = {
+                "f_x": f_orig / f_delayed,
+                "a_x": a_gpu / a_au,
+                "a_e_red": 100 * (1 - e_a_au / e_a_gpu),
+            }
+        return out
+
+    data = benchmark(run)
+    print_table(
+        "Fig 19: feature computation and aggregation speedups",
+        ["Network", "F speedup", "A speedup (AU vs GPU)", "A energy red %"],
+        [
+            (
+                n,
+                f"{data[n]['f_x']:.2f}",
+                f"{data[n]['a_x']:.2f}",
+                f"{data[n]['a_e_red']:.1f}",
+            )
+            for n in ALL_NETWORKS
+        ]
+        + [
+            (
+                "GEOMEAN",
+                f"{geomean(d['f_x'] for d in data.values()):.2f}",
+                f"{geomean(d['a_x'] for d in data.values()):.2f}",
+                "",
+            )
+        ],
+    )
+    # Feature computation speeds up severalfold on every network
+    # (paper average 5.1x).
+    f_mean = geomean(d["f_x"] for d in data.values())
+    assert f_mean > 2.0
+    assert all(d["f_x"] > 1.2 for d in data.values())
+    # The AU accelerates aggregation dramatically (paper average 7.5x)
+    # and all but eliminates its energy (paper 99.4%).
+    a_mean = geomean(d["a_x"] for d in data.values())
+    assert a_mean > 4.0
+    assert all(d["a_e_red"] > 90 for d in data.values())

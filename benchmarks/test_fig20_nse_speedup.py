@@ -1,0 +1,55 @@
+"""Fig 20: Mesorasi on a futuristic SoC with a neighbor search engine.
+
+Paper: with the Tigris-style NSE (60x faster neighbor search) in the
+baseline, Mesorasi-SW reaches 2.1x and Mesorasi-HW 6.7x average
+speedup; the DGCNN variants gain the most because neighbor search
+dominated their runtime.
+"""
+
+from conftest import geomean, print_table
+
+from repro.networks import ALL_NETWORKS
+
+
+def test_fig20_nse_speedup(benchmark, soc_results):
+    def run():
+        out = {}
+        for name in ALL_NETWORKS:
+            r = soc_results[name]
+            base = r["baseline_nse"].latency
+            out[name] = {
+                "sw_x": base / r["mesorasi_sw_nse"].latency,
+                "hw_x": base / r["mesorasi_hw_nse"].latency,
+            }
+        return out
+
+    data = benchmark(run)
+    print_table(
+        "Fig 20: speedup over the NSE-enabled baseline (GPU+NPU+NSE)",
+        ["Network", "Mesorasi-SW x", "Mesorasi-HW x"],
+        [
+            (n, f"{data[n]['sw_x']:.2f}", f"{data[n]['hw_x']:.2f}")
+            for n in ALL_NETWORKS
+        ]
+        + [
+            (
+                "GEOMEAN",
+                f"{geomean(d['sw_x'] for d in data.values()):.2f}",
+                f"{geomean(d['hw_x'] for d in data.values()):.2f}",
+            )
+        ],
+    )
+    sw_mean = geomean(d["sw_x"] for d in data.values())
+    hw_mean = geomean(d["hw_x"] for d in data.values())
+    # Removing the Amdahl bottleneck amplifies Mesorasi's gains
+    # (paper: SW 2.1x, HW 6.7x).
+    assert hw_mean > 2.5
+    assert hw_mean > sw_mean
+    # NSE speedups exceed the non-NSE ones network by network.
+    for name in ALL_NETWORKS:
+        r = soc_results[name]
+        plain_hw = r["baseline"].latency / r["mesorasi_hw"].latency
+        assert data[name]["hw_x"] > plain_hw, name
+    # DGCNN family benefits strongly once search is accelerated.
+    assert data["DGCNN (c)"]["hw_x"] > 2.0
+    assert data["DGCNN (s)"]["hw_x"] > 1.4

@@ -1,0 +1,39 @@
+"""§VII-A: area overhead of the aggregation unit.
+
+Paper numbers (TSMC 16 nm): AU total 0.059 mm^2 — less than 3.8% of the
+baseline NPU; the crossbar-free PFT buffer is 0.031 mm^2 where a
+crossbar alone would have been 0.064 mm^2.
+"""
+
+from conftest import print_table
+
+from repro.hw import MESORASI_AU, MESORASI_NPU
+
+
+def test_sec7a_area_overhead(benchmark):
+    def run():
+        return {
+            "au": MESORASI_AU.area_mm2(),
+            "pft": MESORASI_AU.pft_buffer.area_mm2(),
+            "crossbar": MESORASI_AU.avoided_crossbar_mm2(),
+            "npu": MESORASI_NPU.area_mm2(),
+        }
+
+    area = benchmark(run)
+    print_table(
+        "Sec VII-A: area (mm^2, 16 nm)",
+        ["Structure", "Modeled", "Paper"],
+        [
+            ("Aggregation unit", f"{area['au']:.3f}", "0.059"),
+            ("PFT buffer (64KB, 32 banks)", f"{area['pft']:.3f}", "0.031"),
+            ("Avoided crossbar", f"{area['crossbar']:.3f}", "0.064"),
+            ("Baseline NPU", f"{area['npu']:.2f}", "~1.55 (derived)"),
+            ("AU / NPU overhead", f"{area['au'] / area['npu'] * 100:.1f}%",
+             "<3.8%"),
+        ],
+    )
+    assert area["au"] / area["npu"] < 0.045
+    assert abs(area["pft"] - 0.031) / 0.031 < 0.1
+    assert abs(area["crossbar"] - 0.064) / 0.064 < 0.05
+    # The avoided crossbar would have doubled the PFT buffer's area.
+    assert area["crossbar"] > area["pft"]

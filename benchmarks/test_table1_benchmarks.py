@@ -1,0 +1,25 @@
+"""Table I: the evaluation benchmarks (networks, datasets, years)."""
+
+from conftest import print_table
+
+from repro.networks import table1_rows
+
+
+def test_table1(benchmark):
+    rows = benchmark(table1_rows)
+    print_table(
+        "Table I: Evaluation benchmarks",
+        ["Domain", "Algorithm", "Dataset", "Year"],
+        rows,
+    )
+    assert len(rows) == 7
+    # The paper's groupings.
+    classification = [r for r in rows if r[0] == "Classification"]
+    segmentation = [r for r in rows if r[0] == "Segmentation"]
+    detection = [r for r in rows if r[0] == "Detection"]
+    assert len(classification) == 4
+    assert len(segmentation) == 2
+    assert len(detection) == 1
+    assert all(r[2] == "ModelNet40" for r in classification)
+    assert all(r[2] == "ShapeNet" for r in segmentation)
+    assert detection[0][1] == "F-PointNet" and detection[0][2] == "KITTI"

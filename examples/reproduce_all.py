@@ -1,0 +1,36 @@
+"""Regenerate the paper's analytic evaluation in one run.
+
+Prints the full characterization + SoC report (Figs 4, 5, 9, 10, 18-20
+in table form), a roofline summary showing why delayed-aggregation
+changes the bound of feature computation, and an execution timeline of
+Mesorasi-HW showing the N/F overlap.
+
+Run:  python examples/reproduce_all.py
+"""
+
+from repro.hw import SoC
+from repro.hw.timeline import build_timeline, render_gantt
+from repro.networks import build_network
+from repro.profiling import full_report
+from repro.profiling.roofline import TX2_ROOF, analyze_trace
+
+print(full_report())
+
+# -- Roofline: where each algorithm sits --------------------------------------
+
+net = build_network("PointNet++ (s)")
+print("\nRoofline (TX2 GPU, fraction of FLOPs by bound):")
+for strategy in ("original", "delayed"):
+    _, summary = analyze_trace(net.trace(strategy), TX2_ROOF)
+    print(f"  {strategy:9s}: compute-bound {summary['compute'] * 100:.0f}%, "
+          f"memory-bound {summary['memory'] * 100:.0f}%")
+
+# -- Timeline: the Fig 8 overlap on real module schedules ----------------------
+
+soc = SoC()
+for cfg in ("baseline", "mesorasi_hw"):
+    tl = build_timeline(soc, net, cfg)
+    print(f"\n{cfg} schedule ({tl.makespan * 1e3:.2f} ms makespan, "
+          f"GPU:N x NPU:F overlap "
+          f"{tl.overlap('GPU:N', 'NPU:F') * 1e3:.2f} ms):")
+    print(render_gantt(tl))

@@ -1,0 +1,56 @@
+"""Simulating Mesorasi's SoC: GPU + NPU + aggregation unit (+ NSE).
+
+Walks the paper's platform ladder for every benchmark network:
+GPU-only, the GPU+NPU baseline, Mesorasi-SW (delayed-aggregation,
+no new hardware), Mesorasi-HW (with the aggregation unit), and the
+futuristic NSE-enabled SoC — reporting latency, energy, and the AU's
+emergent bank-conflict statistics.
+
+Run:  python examples/soc_simulation.py
+"""
+
+from repro.hw import MESORASI_AU, MESORASI_NPU, SoC
+from repro.networks import ALL_NETWORKS, build_network
+
+soc = SoC()
+configs = ("gpu", "baseline", "mesorasi_sw", "mesorasi_hw", "mesorasi_hw_nse")
+
+print(f"{'network':16s}" + "".join(f"{c:>16s}" for c in configs))
+results = {}
+for name in ALL_NETWORKS:
+    net = build_network(name)
+    results[name] = {cfg: soc.simulate(net, cfg) for cfg in configs}
+    row = "".join(
+        f"{results[name][cfg].latency * 1e3:14.2f}ms" for cfg in configs
+    )
+    print(f"{name:16s}{row}")
+
+print("\nspeedup over the GPU+NPU baseline:")
+for name in ALL_NETWORKS:
+    base = results[name]["baseline"].latency
+    sw = base / results[name]["mesorasi_sw"].latency
+    hw = base / results[name]["mesorasi_hw"].latency
+    print(f"  {name:16s} Mesorasi-SW {sw:4.2f}x   Mesorasi-HW {hw:4.2f}x")
+
+print("\nenergy reduction of Mesorasi-HW vs baseline:")
+for name in ALL_NETWORKS:
+    red = results[name]["mesorasi_hw"].energy_reduction_over(
+        results[name]["baseline"]
+    )
+    print(f"  {name:16s} {red * 100:5.1f}%")
+
+print("\naggregation unit detail (PointNet++ (c)):")
+for module, stats in results["PointNet++ (c)"]["mesorasi_hw"].au_stats:
+    print(
+        f"  {module}: {stats.cycles} cycles, "
+        f"{stats.partitions} PFT partition(s), "
+        f"conflict rounds {stats.conflict_fraction * 100:.0f}%, "
+        f"PFT access slowdown {stats.slowdown_vs_ideal:.2f}x vs ideal"
+    )
+
+print(
+    f"\nAU area: {MESORASI_AU.area_mm2():.3f} mm^2 "
+    f"({MESORASI_AU.area_mm2() / MESORASI_NPU.area_mm2() * 100:.1f}% of the "
+    f"{MESORASI_NPU.area_mm2():.2f} mm^2 NPU); "
+    f"crossbar avoided: {MESORASI_AU.avoided_crossbar_mm2():.3f} mm^2"
+)

@@ -1,0 +1,30 @@
+"""repro — a reproduction of Mesorasi (MICRO 2020).
+
+Mesorasi: Architecture Support for Point Cloud Analytics via
+Delayed-Aggregation (Feng, Tian, Xu, Whatmough, Zhu).
+
+Public subpackages:
+
+* :mod:`repro.core` — the delayed-aggregation primitive
+* :mod:`repro.neural` — numpy autograd DNN substrate
+* :mod:`repro.neighbors` — neighbor search substrate
+* :mod:`repro.networks` — the seven benchmark networks (Table I)
+* :mod:`repro.data` — synthetic datasets and metrics
+* :mod:`repro.profiling` — operator traces and workload analytics
+* :mod:`repro.hw` — GPU/NPU/AU/DRAM/NSE/SoC hardware models
+"""
+
+__version__ = "1.0.0"
+
+from . import core, data, hw, neighbors, networks, neural, profiling
+
+__all__ = [
+    "core",
+    "data",
+    "hw",
+    "neighbors",
+    "networks",
+    "neural",
+    "profiling",
+    "__version__",
+]

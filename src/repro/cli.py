@@ -1,0 +1,143 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+report
+    Print the full paper-style evaluation report.
+trace NETWORK [--strategy S]
+    Print the operator trace of one benchmark network.
+simulate NETWORK [--config C]
+    Simulate one network on one SoC configuration.
+networks
+    List the benchmark networks (Table I).
+train [--network N] [--strategy S] [--epochs E]
+    Train a scaled-down classifier on the synthetic dataset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _cmd_report(_args):
+    from .profiling.report import full_report
+
+    print(full_report())
+    return 0
+
+
+def _cmd_networks(_args):
+    from .networks import table1_rows
+
+    for domain, name, dataset, year in table1_rows():
+        print(f"{domain:15s} {name:16s} {dataset:11s} {year}")
+    return 0
+
+
+def _cmd_trace(args):
+    from .networks import build_network
+
+    net = build_network(args.network)
+    trace = net.trace(args.strategy)
+    print(f"{net.name} [{args.strategy}] — {len(trace)} ops, "
+          f"{trace.mlp_macs() / 1e6:.1f} M MLP MACs")
+    for op in trace:
+        fields = {
+            k: v for k, v in vars(op).items()
+            if k not in ("phase", "module", "parallelizable")
+        }
+        flag = " ||" if op.parallelizable else ""
+        detail = ", ".join(f"{k}={v}" for k, v in fields.items())
+        print(f"  [{op.phase}] {op.module:12s} "
+              f"{type(op).__name__:18s} {detail}{flag}")
+    return 0
+
+
+def _cmd_simulate(args):
+    from .hw import CONFIGS, SoC
+    from .networks import build_network
+
+    soc = SoC()
+    net = build_network(args.network)
+    result = soc.simulate(net, args.config)
+    print(f"{net.name} on {result.config}:")
+    print(f"  latency: {result.latency * 1e3:.2f} ms")
+    print(f"  energy:  {result.energy * 1e3:.2f} mJ")
+    for phase in "NAFO":
+        print(f"  {phase}: {result.phase_times[phase] * 1e3:8.2f} ms   "
+              f"{result.phase_energy[phase] * 1e3:8.2f} mJ")
+    for module, stats in result.au_stats:
+        print(f"  AU {module}: {stats.cycles} cycles, "
+              f"{stats.partitions} partitions, "
+              f"conflict {stats.conflict_fraction * 100:.0f}%")
+    return 0
+
+
+def _cmd_train(args):
+    from .data import SyntheticModelNet
+    from .networks import build_network, evaluate_classifier, train_classifier
+
+    ds = SyntheticModelNet(num_classes=4, n_points=256, train_per_class=8,
+                           test_per_class=4, seed=0, rotate=False)
+    net = build_network(args.network, num_classes=4, scale=0.0625,
+                        rng=np.random.default_rng(0))
+    n = net.n_points
+    result = train_classifier(
+        net, ds.train_clouds[:, :n], ds.train_labels,
+        epochs=args.epochs, lr=1e-3, strategy=args.strategy, seed=1,
+    )
+    acc = evaluate_classifier(net, ds.test_clouds[:, :n], ds.test_labels,
+                              strategy=args.strategy)
+    print(f"{net.name} [{args.strategy}] loss {result.losses[0]:.2f} -> "
+          f"{result.losses[-1]:.2f}, test accuracy {acc:.2f}")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Mesorasi reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("report", help="full paper-style report")
+    sub.add_parser("networks", help="list benchmark networks")
+
+    p_trace = sub.add_parser("trace", help="print a network's op trace")
+    p_trace.add_argument("network")
+    p_trace.add_argument("--strategy", default="delayed",
+                         choices=("original", "delayed", "limited"))
+
+    p_sim = sub.add_parser("simulate", help="simulate a network on an SoC")
+    p_sim.add_argument("network")
+    p_sim.add_argument("--config", default="mesorasi_hw")
+
+    p_train = sub.add_parser("train", help="train a toy classifier")
+    p_train.add_argument("--network", default="PointNet++ (c)")
+    p_train.add_argument("--strategy", default="delayed",
+                         choices=("original", "delayed", "limited"))
+    p_train.add_argument("--epochs", type=int, default=5)
+
+    return parser
+
+
+_COMMANDS = {
+    "report": _cmd_report,
+    "networks": _cmd_networks,
+    "trace": _cmd_trace,
+    "simulate": _cmd_simulate,
+    "train": _cmd_train,
+}
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Delayed-aggregation: the paper's primary contribution."""
+
+from .equivalence import (
+    linear_distributivity_gap,
+    max_subtract_gap,
+    mlp_distributivity_gap,
+    relative_error,
+)
+from .msg import MultiScaleModule, MultiScaleSpec
+from .module import (
+    STRATEGIES,
+    ModuleSpec,
+    PointCloudModule,
+    emit_module_trace,
+)
+from .tables import NeighborIndexTable, PointFeatureTable
+
+__all__ = [
+    "ModuleSpec",
+    "PointCloudModule",
+    "emit_module_trace",
+    "STRATEGIES",
+    "MultiScaleSpec",
+    "MultiScaleModule",
+    "NeighborIndexTable",
+    "PointFeatureTable",
+    "max_subtract_gap",
+    "linear_distributivity_gap",
+    "mlp_distributivity_gap",
+    "relative_error",
+]

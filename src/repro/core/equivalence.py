@@ -1,0 +1,76 @@
+"""Analysis of the approximately-distributive property (Equ. 2 / 3).
+
+Delayed-aggregation rests on two mathematical facts:
+
+1. A linear map distributes *exactly* over subtraction, so hoisting a
+   matrix-vector product past aggregation (the limited/GNN variant) is
+   precise.
+2. With a nonlinearity in between, the distribution is approximate
+   (Equ. 3); the paper recovers the accuracy gap by retraining.
+3. Max-reduction distributes exactly over subtracting a constant row:
+   ``max_k(p_k - p_i) == max_k(p_k) - p_i``, which lets the full
+   algorithm subtract the centroid feature after the reduction.
+
+These helpers quantify each property so tests and benchmarks can verify
+the claims numerically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..neural import Tensor
+
+__all__ = [
+    "max_subtract_gap",
+    "linear_distributivity_gap",
+    "mlp_distributivity_gap",
+    "relative_error",
+]
+
+
+def relative_error(approx, exact):
+    """Frobenius-norm relative error between two arrays."""
+    approx = np.asarray(approx, dtype=np.float64)
+    exact = np.asarray(exact, dtype=np.float64)
+    denom = np.linalg.norm(exact)
+    if denom == 0.0:
+        return float(np.linalg.norm(approx))
+    return float(np.linalg.norm(approx - exact) / denom)
+
+
+def max_subtract_gap(neighbor_features, centroid_feature):
+    """Gap of ``max_k(p_k - p_i)`` vs ``max_k(p_k) - p_i`` — must be 0.
+
+    ``neighbor_features`` is (K, M); ``centroid_feature`` is (M,).
+    """
+    nf = np.asarray(neighbor_features, dtype=np.float64)
+    cf = np.asarray(centroid_feature, dtype=np.float64)
+    before = (nf - cf).max(axis=0)
+    after = nf.max(axis=0) - cf
+    return float(np.abs(before - after).max())
+
+
+def linear_distributivity_gap(weight, neighbors, centroid):
+    """Gap of ``(p_k - p_i) W`` vs ``p_k W - p_i W`` — 0 up to fp error."""
+    w = np.asarray(weight, dtype=np.float64)
+    nf = np.asarray(neighbors, dtype=np.float64)
+    cf = np.asarray(centroid, dtype=np.float64)
+    lhs = (nf - cf) @ w
+    rhs = nf @ w - cf @ w
+    return float(np.abs(lhs - rhs).max())
+
+
+def mlp_distributivity_gap(mlp, neighbors, centroid):
+    """Relative error of Equ. 3 for a real (nonlinear) shared MLP.
+
+    Computes ``phi(...((p_k - p_i) W1)...)`` against
+    ``phi(...(p_k W1 W2...)) - phi(...(p_i W1 W2...))`` and returns the
+    relative error.  Nonzero in general; the paper's accuracy results
+    (Fig 16) show training absorbs it.
+    """
+    nf = Tensor(np.asarray(neighbors, dtype=np.float64))
+    cf = Tensor(np.asarray(centroid, dtype=np.float64).reshape(1, -1))
+    exact = mlp(nf - cf).data
+    approx = mlp(nf).data - mlp(cf).data
+    return relative_error(approx, exact)

@@ -1,0 +1,333 @@
+"""The point cloud module and its three execution strategies.
+
+A *module* (§III-A) maps an (Nin, Min) point cloud to an (Nout, Mout)
+point cloud through neighbor search (N), aggregation (A) and feature
+computation (F).  This class implements the three orderings studied in
+the paper:
+
+* ``original`` — ``F(A(N(p), p))``: aggregate neighbor offsets, then run
+  the shared MLP over Nout*K rows (Fig 3).
+* ``delayed`` — ``A(F(N(p)), F(p))``: run the MLP once over the Nin
+  input points, then gather/reduce/subtract in feature space (Fig 8).
+  Because max-reduction distributes exactly over subtraction, the
+  centroid's feature is subtracted *after* the reduction.
+* ``limited`` — the GNN-style variant (§VII-C): hoist only the first
+  matrix-vector product (which is exactly linear), aggregate, then run
+  the remaining layers over Nout*K rows.
+
+Each strategy both executes (numpy autograd) and can emit the operator
+trace used by the profiling analytics and hardware simulators; the
+trace can also be produced analytically without execution via
+:func:`emit_module_trace` so paper-scale inputs stay cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..neighbors import knn_brute_force
+from ..neural import SharedMLP, Tensor
+from ..neural.layers import Linear, Module
+from ..profiling.trace import (
+    GatherOp,
+    MatMulOp,
+    NeighborSearchOp,
+    ReduceMaxOp,
+    SampleOp,
+    SubtractOp,
+    Trace,
+)
+from .tables import NeighborIndexTable, PointFeatureTable
+
+__all__ = ["ModuleSpec", "PointCloudModule", "emit_module_trace", "STRATEGIES"]
+
+STRATEGIES = ("original", "delayed", "limited")
+
+
+@dataclass(frozen=True)
+class ModuleSpec:
+    """Static description of one module — enough to execute or trace it.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in traces.
+    n_in / n_out:
+        Input point count and output centroid count.
+    k:
+        Neighborhood size.
+    mlp_dims:
+        Shared-MLP widths including the input width, e.g. [3, 64, 64, 128].
+    search_space:
+        ``"coords"`` (PointNet++-style: always search the 3-D space) or
+        ``"features"`` (DGCNN-style: search the input feature space of
+        the module).
+    """
+
+    name: str
+    n_in: int
+    n_out: int
+    k: int
+    mlp_dims: tuple
+    search_space: str = "coords"
+
+    def __post_init__(self):
+        if self.n_out > self.n_in:
+            raise ValueError(f"{self.name}: n_out cannot exceed n_in")
+        if self.k > self.n_in:
+            raise ValueError(f"{self.name}: k cannot exceed n_in")
+        if len(self.mlp_dims) < 2:
+            raise ValueError(f"{self.name}: mlp_dims needs >= 2 entries")
+        if self.search_space not in ("coords", "features"):
+            raise ValueError(f"{self.name}: bad search_space {self.search_space!r}")
+        object.__setattr__(self, "mlp_dims", tuple(self.mlp_dims))
+
+    @property
+    def in_dim(self):
+        return self.mlp_dims[0]
+
+    @property
+    def out_dim(self):
+        return self.mlp_dims[-1]
+
+    @property
+    def search_dim(self):
+        return 3 if self.search_space == "coords" else self.in_dim
+
+
+@dataclass
+class ModuleOutput:
+    """Result of executing a module."""
+
+    coords: np.ndarray
+    features: Tensor
+    nit: NeighborIndexTable
+    pft: PointFeatureTable = None
+
+
+class PointCloudModule(Module):
+    """Executable module parameterized by a :class:`ModuleSpec`."""
+
+    def __init__(self, spec, batch_norm=False, rng=None):
+        super().__init__()
+        self.spec = spec
+        self.mlp = SharedMLP(list(spec.mlp_dims), batch_norm=batch_norm, rng=rng)
+        self._rng = rng or np.random.default_rng(0)
+
+    # -- shared steps -------------------------------------------------------
+
+    def _sample_centroids(self, n_in):
+        """Evenly-strided centroid subset.
+
+        The paper's optimized baseline replaces farthest-point sampling
+        with random sampling (§VI); point order in our clouds is already
+        unstructured, so a deterministic stride is an equivalent draw
+        while keeping forward passes reproducible (which stabilizes
+        training and evaluation at toy scale).
+        """
+        if self.spec.n_out == n_in:
+            return np.arange(n_in)
+        return np.linspace(0, n_in - 1, self.spec.n_out).astype(np.int64)
+
+    def _search(self, coords, features, centroid_idx):
+        if self.spec.search_space == "coords":
+            space = coords
+        else:
+            space = features.data
+        indices, _ = knn_brute_force(space, space[centroid_idx], self.spec.k)
+        return NeighborIndexTable(indices, centroid_idx)
+
+    # -- strategies -------------------------------------------------------
+
+    def forward(self, coords, features, strategy="delayed", trace=None,
+                centroid_idx=None):
+        """Run the module.
+
+        Parameters
+        ----------
+        coords:
+            (n_in, 3) numpy coordinates.
+        features:
+            (n_in, Min) Tensor of per-point features.
+        strategy:
+            One of :data:`STRATEGIES`.
+        trace:
+            Optional :class:`Trace` to append operator records to.
+        centroid_idx:
+            Optional externally-chosen centroid indices (length n_out).
+            Multi-scale grouping passes the same set to every scale
+            branch; by default the module samples its own.
+
+        Returns a :class:`ModuleOutput`.
+        """
+        if strategy not in STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r}")
+        n_in = coords.shape[0]
+        if features.shape != (n_in, self.spec.in_dim):
+            raise ValueError(
+                f"{self.spec.name}: expected features "
+                f"{(n_in, self.spec.in_dim)}, got {features.shape}"
+            )
+        if trace is not None:
+            emit_module_trace(self.spec, strategy, trace, n_in=n_in)
+
+        if centroid_idx is None:
+            centroid_idx = self._sample_centroids(n_in)
+        elif len(centroid_idx) != self.spec.n_out:
+            raise ValueError(
+                f"{self.spec.name}: expected {self.spec.n_out} centroids, "
+                f"got {len(centroid_idx)}"
+            )
+        out_coords = coords[centroid_idx]
+
+        if strategy == "original":
+            out_features, nit, pft = self._forward_original(
+                coords, features, centroid_idx
+            )
+        elif strategy == "delayed":
+            out_features, nit, pft = self._forward_delayed(
+                coords, features, centroid_idx
+            )
+        else:
+            out_features, nit, pft = self._forward_limited(
+                coords, features, centroid_idx
+            )
+        return ModuleOutput(out_coords, out_features, nit, pft)
+
+    def _forward_original(self, coords, features, centroid_idx):
+        nit = self._search(coords, features, centroid_idx)
+        k, m_in = self.spec.k, self.spec.in_dim
+        n_out = len(centroid_idx)
+        gathered = features.gather(nit.indices)  # (n_out, k, m_in)
+        centroids = features.gather(centroid_idx).reshape(n_out, 1, m_in)
+        offsets = (gathered - centroids).reshape(n_out * k, m_in)
+        transformed = self.mlp(offsets).reshape(n_out, k, self.spec.out_dim)
+        reduced = transformed.max(axis=1)
+        return reduced, nit, None
+
+    def _forward_delayed(self, coords, features, centroid_idx):
+        # F over all input points (would run on the NPU, in parallel
+        # with N on the GPU).
+        pft_tensor = self.mlp(features)
+        pft = PointFeatureTable(pft_tensor.data)
+        nit = self._search(coords, features, centroid_idx)
+        # A: gather in feature space, reduce, then subtract the centroid
+        # feature (exact, because max distributes over subtraction).
+        gathered = pft_tensor.gather(nit.indices)  # (n_out, k, m_out)
+        reduced = gathered.max(axis=1)
+        out = reduced - pft_tensor.gather(centroid_idx)
+        return out, nit, pft
+
+    def _forward_limited(self, coords, features, centroid_idx):
+        layers = self.mlp.net.layers
+        first = layers[0]
+        if not isinstance(first, Linear):
+            raise TypeError("limited strategy requires a leading Linear layer")
+        # Hoist only the first matrix-vector product; the bias cancels in
+        # the subtraction, so add it back afterwards to stay exact.
+        hoisted = features @ first.weight
+        k = self.spec.k
+        n_out = len(centroid_idx)
+        hidden = hoisted.shape[-1]
+        nit = self._search(coords, features, centroid_idx)
+        gathered = hoisted.gather(nit.indices)
+        centroids = hoisted.gather(centroid_idx).reshape(n_out, 1, hidden)
+        offsets = (gathered - centroids).reshape(n_out * k, hidden)
+        if first.bias is not None:
+            offsets = offsets + first.bias
+        out = offsets
+        for layer in layers[1:]:
+            out = layer(out)
+        transformed = out.reshape(n_out, k, self.spec.out_dim)
+        reduced = transformed.max(axis=1)
+        return reduced, nit, PointFeatureTable(hoisted.data)
+
+
+def emit_module_trace(spec, strategy, trace, n_in=None):
+    """Append the operator records for one module run to ``trace``.
+
+    This is purely analytic — it never touches point data — so it can be
+    evaluated at the paper's full input scale (e.g. 130K-point KITTI
+    frames) in microseconds.
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}")
+    n_in = spec.n_in if n_in is None else n_in
+    n_out = spec.n_out if n_in == spec.n_in else min(spec.n_out, n_in)
+    k = spec.k
+    dims = spec.mlp_dims
+    name = spec.name
+
+    if n_out < n_in:
+        trace.add(SampleOp("O", name, n_points=n_in, n_samples=n_out))
+
+    if strategy == "original":
+        trace.add(
+            NeighborSearchOp(
+                "N", name, n_queries=n_out, n_points=n_in, k=k, dim=spec.search_dim
+            )
+        )
+        trace.add(
+            GatherOp(
+                "A", name,
+                n_centroids=n_out, k=k, feature_dim=dims[0], table_rows=n_in,
+            )
+        )
+        trace.add(SubtractOp("A", name, rows=n_out * k, dim=dims[0]))
+        for a, b in zip(dims[:-1], dims[1:]):
+            trace.add(MatMulOp("F", name, rows=n_out * k, in_dim=a, out_dim=b))
+        trace.add(
+            ReduceMaxOp("F", name, n_centroids=n_out, k=k, feature_dim=dims[-1])
+        )
+    elif strategy == "delayed":
+        for a, b in zip(dims[:-1], dims[1:]):
+            trace.add(
+                MatMulOp(
+                    "F", name, parallelizable=True, rows=n_in, in_dim=a, out_dim=b
+                )
+            )
+        trace.add(
+            NeighborSearchOp(
+                "N", name, parallelizable=True,
+                n_queries=n_out, n_points=n_in, k=k, dim=spec.search_dim,
+            )
+        )
+        trace.add(
+            GatherOp(
+                "A", name,
+                n_centroids=n_out, k=k, feature_dim=dims[-1], table_rows=n_in,
+            )
+        )
+        trace.add(
+            ReduceMaxOp("A", name, n_centroids=n_out, k=k, feature_dim=dims[-1])
+        )
+        trace.add(SubtractOp("A", name, rows=n_out, dim=dims[-1]))
+    else:  # limited
+        hidden = dims[1]
+        trace.add(
+            MatMulOp(
+                "F", name, parallelizable=True,
+                rows=n_in, in_dim=dims[0], out_dim=hidden,
+            )
+        )
+        trace.add(
+            NeighborSearchOp(
+                "N", name, parallelizable=True,
+                n_queries=n_out, n_points=n_in, k=k, dim=spec.search_dim,
+            )
+        )
+        trace.add(
+            GatherOp(
+                "A", name,
+                n_centroids=n_out, k=k, feature_dim=hidden, table_rows=n_in,
+            )
+        )
+        trace.add(SubtractOp("A", name, rows=n_out * k, dim=hidden))
+        for a, b in zip(dims[1:-1], dims[2:]):
+            trace.add(MatMulOp("F", name, rows=n_out * k, in_dim=a, out_dim=b))
+        trace.add(
+            ReduceMaxOp("F", name, n_centroids=n_out, k=k, feature_dim=dims[-1])
+        )
+    return trace

@@ -1,0 +1,96 @@
+"""Multi-scale grouping (MSG) — PointNet++'s multi-resolution module.
+
+The MSG variant of PointNet++ extracts features at several neighborhood
+scales around the *same* centroids (e.g. K=16, 32, 128 with separate
+MLPs) and concatenates them.  Delayed-aggregation applies per scale
+branch unchanged: each branch's MLP hoists over the shared input
+points, and each branch's gather/reduce/subtract runs in its own
+feature space.  MSG is the stress configuration for the aggregation
+unit, since one centroid triggers several NIT entries of different K.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..neural import Module, concat
+from .module import ModuleSpec, PointCloudModule, STRATEGIES, emit_module_trace
+from .tables import NeighborIndexTable
+
+__all__ = ["MultiScaleSpec", "MultiScaleModule"]
+
+
+class MultiScaleSpec:
+    """A bundle of per-scale :class:`ModuleSpec` sharing geometry.
+
+    Parameters
+    ----------
+    name:
+        Base name; scale branches are named ``{name}/s{i}``.
+    n_in / n_out:
+        Shared point/centroid counts.
+    scales:
+        Iterable of ``(k, mlp_dims)`` pairs, one per scale.  All MLPs
+        must consume the same input width.
+    """
+
+    def __init__(self, name, n_in, n_out, scales, search_space="coords"):
+        scales = list(scales)
+        if not scales:
+            raise ValueError("at least one scale is required")
+        widths = {tuple(dims)[0] for _, dims in scales}
+        if len(widths) != 1:
+            raise ValueError("all scale MLPs must share the input width")
+        self.name = name
+        self.n_in = n_in
+        self.n_out = n_out
+        self.branches = tuple(
+            ModuleSpec(f"{name}/s{i}", n_in, n_out, k, tuple(dims),
+                       search_space=search_space)
+            for i, (k, dims) in enumerate(scales)
+        )
+
+    @property
+    def in_dim(self):
+        return self.branches[0].in_dim
+
+    @property
+    def out_dim(self):
+        """Concatenated output width across scales."""
+        return sum(b.out_dim for b in self.branches)
+
+
+class MultiScaleModule(Module):
+    """Executable MSG module: shared centroids, per-scale branches."""
+
+    def __init__(self, spec, rng=None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.spec = spec
+        self.branches = [PointCloudModule(b, rng=rng) for b in spec.branches]
+
+    def forward(self, coords, features, strategy="delayed", trace=None):
+        """Run every scale branch over one shared centroid set.
+
+        Returns a :class:`~repro.core.module.ModuleOutput` whose
+        features are the per-scale concatenation and whose ``nit`` is
+        the *largest* scale's table (the one that stresses the AU).
+        """
+        if strategy not in STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r}")
+        centroid_idx = self.branches[0]._sample_centroids(coords.shape[0])
+        outputs = [
+            branch(coords, features, strategy=strategy, trace=trace,
+                   centroid_idx=centroid_idx)
+            for branch in self.branches
+        ]
+        fused = concat([out.features for out in outputs], axis=1)
+        widest = max(outputs, key=lambda out: out.nit.k)
+        result = outputs[0]
+        result.features = fused
+        result.nit = NeighborIndexTable(widest.nit.indices, centroid_idx)
+        return result
+
+    def emit_trace(self, trace, strategy):
+        for branch in self.spec.branches:
+            emit_module_trace(branch, strategy, trace)

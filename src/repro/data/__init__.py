@@ -1,0 +1,54 @@
+"""Synthetic datasets replacing ModelNet40 / ShapeNet / KITTI offline."""
+
+from .kitti import (
+    SyntheticFrustum,
+    bev_iou,
+    box_corners_bev,
+    synthetic_lidar_scene,
+)
+from .io import (
+    load_points,
+    read_off,
+    read_ply,
+    read_xyz,
+    save_points,
+    write_off,
+    write_ply,
+    write_xyz,
+)
+from .metrics import confusion_matrix, mean_iou, overall_accuracy
+from .modelnet import SyntheticModelNet, make_class_generators
+from .shapenet import CATEGORY_BUILDERS, SyntheticShapeNet, num_part_classes
+from .shapes import (
+    SHAPE_SAMPLERS,
+    augment,
+    normalize_cloud,
+    random_rotation,
+)
+
+__all__ = [
+    "SyntheticModelNet",
+    "make_class_generators",
+    "SyntheticShapeNet",
+    "CATEGORY_BUILDERS",
+    "num_part_classes",
+    "SyntheticFrustum",
+    "synthetic_lidar_scene",
+    "bev_iou",
+    "box_corners_bev",
+    "SHAPE_SAMPLERS",
+    "augment",
+    "normalize_cloud",
+    "random_rotation",
+    "overall_accuracy",
+    "load_points",
+    "save_points",
+    "read_xyz",
+    "write_xyz",
+    "read_off",
+    "write_off",
+    "read_ply",
+    "write_ply",
+    "mean_iou",
+    "confusion_matrix",
+]

@@ -1,0 +1,168 @@
+"""Point cloud file I/O: OFF, PLY (ascii) and XYZ formats.
+
+ModelNet40 ships as OFF meshes, ShapeNet as point lists, and most
+LiDAR tooling speaks PLY/XYZ; a usable point cloud library needs to
+read and write all three.  Only the geometry channel is handled —
+normals/colors are preserved as extra float columns where the format
+allows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "read_xyz",
+    "write_xyz",
+    "read_off",
+    "write_off",
+    "read_ply",
+    "write_ply",
+    "load_points",
+    "save_points",
+]
+
+
+def write_xyz(path, points):
+    """Write an (N, D>=3) array as whitespace-separated rows."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] < 3:
+        raise ValueError("points must be (N, >=3)")
+    np.savetxt(path, points, fmt="%.8g")
+
+
+def read_xyz(path):
+    """Read whitespace-separated point rows."""
+    pts = np.loadtxt(path, dtype=np.float64, ndmin=2)
+    if pts.shape[1] < 3:
+        raise ValueError("XYZ file must have at least 3 columns")
+    return pts
+
+
+def write_off(path, points, faces=None):
+    """Write an OFF file (vertices + optional triangular faces)."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 3:
+        raise ValueError("OFF vertices must be (N, 3)")
+    faces = np.asarray(faces, dtype=np.int64) if faces is not None else \
+        np.zeros((0, 3), dtype=np.int64)
+    with open(path, "w") as fh:
+        fh.write("OFF\n")
+        fh.write(f"{len(points)} {len(faces)} 0\n")
+        for p in points:
+            fh.write(f"{p[0]:.8g} {p[1]:.8g} {p[2]:.8g}\n")
+        for f in faces:
+            fh.write(f"3 {f[0]} {f[1]} {f[2]}\n")
+
+
+def read_off(path):
+    """Read an OFF file; returns (vertices, faces).
+
+    Handles the common ModelNet quirk where the header counts share the
+    first line with the "OFF" keyword.
+    """
+    with open(path) as fh:
+        tokens = fh.read().split()
+    if not tokens or not tokens[0].startswith("OFF"):
+        raise ValueError("not an OFF file")
+    if tokens[0] == "OFF":
+        counts_at = 1
+    else:  # "OFF123 45 0" malformed-header variant
+        tokens[0] = tokens[0][3:]
+        counts_at = 0
+    n_vertices = int(tokens[counts_at])
+    n_faces = int(tokens[counts_at + 1])
+    cursor = counts_at + 3
+    vertices = np.array(
+        tokens[cursor:cursor + 3 * n_vertices], dtype=np.float64
+    ).reshape(n_vertices, 3)
+    cursor += 3 * n_vertices
+    faces = []
+    for _ in range(n_faces):
+        arity = int(tokens[cursor])
+        faces.append([int(t) for t in tokens[cursor + 1:cursor + 1 + arity]])
+        cursor += 1 + arity
+    faces = np.array(faces, dtype=np.int64) if faces else \
+        np.zeros((0, 3), dtype=np.int64)
+    return vertices, faces
+
+
+def write_ply(path, points, extra_properties=()):
+    """Write an ascii PLY file.
+
+    ``extra_properties`` names float columns beyond x/y/z, e.g.
+    ("intensity",) for a 4-column array.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] < 3:
+        raise ValueError("points must be (N, >=3)")
+    if points.shape[1] != 3 + len(extra_properties):
+        raise ValueError("column count does not match extra_properties")
+    with open(path, "w") as fh:
+        fh.write("ply\nformat ascii 1.0\n")
+        fh.write(f"element vertex {len(points)}\n")
+        for name in ("x", "y", "z") + tuple(extra_properties):
+            fh.write(f"property float {name}\n")
+        fh.write("end_header\n")
+        for row in points:
+            fh.write(" ".join(f"{v:.8g}" for v in row) + "\n")
+
+
+def read_ply(path):
+    """Read an ascii PLY file; returns (points, property_names)."""
+    with open(path) as fh:
+        line = fh.readline().strip()
+        if line != "ply":
+            raise ValueError("not a PLY file")
+        n_vertices = 0
+        properties = []
+        in_vertex = False
+        for line in fh:
+            line = line.strip()
+            if line.startswith("format"):
+                if "ascii" not in line:
+                    raise ValueError("only ascii PLY is supported")
+            elif line.startswith("element"):
+                _, name, count = line.split()
+                in_vertex = name == "vertex"
+                if in_vertex:
+                    n_vertices = int(count)
+            elif line.startswith("property") and in_vertex:
+                properties.append(line.split()[-1])
+            elif line == "end_header":
+                break
+        rows = []
+        for _ in range(n_vertices):
+            rows.append([float(t) for t in fh.readline().split()])
+    return np.array(rows, dtype=np.float64), tuple(properties)
+
+
+_READERS = {"xyz": read_xyz, "txt": read_xyz}
+_WRITERS = {"xyz": write_xyz, "txt": write_xyz}
+
+
+def load_points(path):
+    """Dispatch on extension; returns an (N, >=3) array."""
+    suffix = str(path).rsplit(".", 1)[-1].lower()
+    if suffix == "off":
+        return read_off(path)[0]
+    if suffix == "ply":
+        return read_ply(path)[0]
+    if suffix in _READERS:
+        return _READERS[suffix](path)
+    raise ValueError(f"unsupported point cloud format: .{suffix}")
+
+
+def save_points(path, points):
+    """Dispatch on extension."""
+    suffix = str(path).rsplit(".", 1)[-1].lower()
+    if suffix == "off":
+        write_off(path, np.asarray(points)[:, :3])
+    elif suffix == "ply":
+        pts = np.asarray(points)
+        extras = tuple(f"f{i}" for i in range(pts.shape[1] - 3))
+        write_ply(path, pts, extra_properties=extras)
+    elif suffix in _WRITERS:
+        _WRITERS[suffix](path, points)
+    else:
+        raise ValueError(f"unsupported point cloud format: .{suffix}")

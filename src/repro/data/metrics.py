@@ -1,0 +1,46 @@
+"""Evaluation metrics used by the paper (§VI Software Setup).
+
+* overall accuracy — classification (ModelNet40)
+* mean Intersection-over-Union (mIoU) — segmentation (ShapeNet)
+* BEV IoU — detection (KITTI), implemented in :mod:`repro.data.kitti`
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["overall_accuracy", "mean_iou", "confusion_matrix"]
+
+
+def overall_accuracy(predictions, targets):
+    """Fraction of correctly classified samples."""
+    predictions = np.asarray(predictions)
+    targets = np.asarray(targets)
+    if predictions.shape != targets.shape:
+        raise ValueError("prediction/target shape mismatch")
+    if predictions.size == 0:
+        return 0.0
+    return float((predictions == targets).mean())
+
+
+def confusion_matrix(predictions, targets, num_classes):
+    """(num_classes, num_classes) count matrix, rows = true class."""
+    predictions = np.asarray(predictions).reshape(-1)
+    targets = np.asarray(targets).reshape(-1)
+    if (targets >= num_classes).any() or (predictions >= num_classes).any():
+        raise ValueError("label exceeds num_classes")
+    m = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(m, (targets, predictions), 1)
+    return m
+
+
+def mean_iou(predictions, targets, num_classes):
+    """Mean per-class IoU over the classes present in the targets."""
+    m = confusion_matrix(predictions, targets, num_classes)
+    tp = np.diag(m).astype(np.float64)
+    denom = m.sum(axis=0) + m.sum(axis=1) - tp
+    present = m.sum(axis=1) > 0
+    if not present.any():
+        return 0.0
+    iou = np.where(denom > 0, tp / np.maximum(denom, 1), 0.0)
+    return float(iou[present].mean())

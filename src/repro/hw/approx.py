@@ -1,0 +1,121 @@
+"""Approximate aggregation — the paper's proposed future work (§V-B).
+
+    "An alternative way to resolve bank-conflict would be to simply
+    ignore conflicted banks, essentially approximating the aggregation
+    operation.  We leave it to future work to explore this optimization
+    and its impact on the overall accuracy."
+
+This module explores exactly that: an AU variant whose AGU issues only
+the first unconflicted address per bank each round and *drops* the
+conflicted remainder after ``max_rounds`` rounds, plus helpers that
+quantify the resulting functional error (how far the max-reduction
+drifts when some neighbors never reach the reduction tree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .aggregation_unit import AggregationUnit
+
+__all__ = ["ApproximateAggregationUnit", "ApproxResult", "dropped_neighbor_error"]
+
+
+@dataclass
+class ApproxResult:
+    """Cycle/accuracy accounting of one approximate aggregation pass."""
+
+    cycles: int
+    exact_cycles: int
+    dropped_fraction: float
+    kept_mask: np.ndarray  # (n_centroids, K) — True where the neighbor
+    #                        survived the round limit
+
+    @property
+    def speedup_vs_exact(self):
+        return self.exact_cycles / self.cycles if self.cycles else 1.0
+
+
+class ApproximateAggregationUnit(AggregationUnit):
+    """AU that bounds the multi-round loop and drops the overflow.
+
+    ``max_rounds = None`` degenerates to the exact unit.  With
+    ``max_rounds = r`` an NIT entry finishes in at most r rounds; any
+    neighbor whose bank already served r addresses is skipped, trading
+    aggregation accuracy for bounded latency.
+    """
+
+    def __init__(self, max_rounds=2, **kwargs):
+        super().__init__(**kwargs)
+        if max_rounds is not None and max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1 (or None for exact)")
+        self.max_rounds = max_rounds
+
+    def process_approximate(self, nit_indices, feature_dim, n_points):
+        """Simulate the bounded-round gather.
+
+        Returns an :class:`ApproxResult` with the survivor mask, so the
+        functional impact can be evaluated on real feature tables via
+        :func:`dropped_neighbor_error`.
+        """
+        nit_indices = np.asarray(nit_indices)
+        if nit_indices.ndim != 2:
+            raise ValueError("nit_indices must be (n_centroids, K)")
+        n_centroids, k = nit_indices.shape
+        parts = self.n_partitions(n_points, feature_dim)
+        cols = -(-feature_dim // parts)
+
+        kept = np.zeros((n_centroids, k), dtype=bool)
+        total_rounds = 0
+        exact_rounds = 0
+        for row in range(n_centroids):
+            banks = nit_indices[row] % self.banks
+            # Order of service within a bank follows entry order.
+            served = {}
+            for j, bank in enumerate(banks):
+                order = served.get(bank, 0)
+                served[bank] = order + 1
+                if self.max_rounds is None or order < self.max_rounds:
+                    kept[row, j] = True
+            loads = np.bincount(banks, minlength=self.banks)
+            exact_rounds += int(loads.max())
+            bounded = loads if self.max_rounds is None else \
+                np.minimum(loads, self.max_rounds)
+            total_rounds += int(bounded.max())
+
+        cycles = total_rounds * cols * parts \
+            + n_centroids * cols * parts + n_centroids * parts
+        exact_cycles = exact_rounds * cols * parts \
+            + n_centroids * cols * parts + n_centroids * parts
+        return ApproxResult(
+            cycles=cycles,
+            exact_cycles=exact_cycles,
+            dropped_fraction=float(1.0 - kept.mean()),
+            kept_mask=kept,
+        )
+
+
+def dropped_neighbor_error(pft, nit_indices, kept_mask):
+    """Relative error of the max-reduction when dropped neighbors are
+    excluded.
+
+    ``pft`` is the (n_points, M) feature table; the exact output per
+    centroid is ``max_k pft[nit[k]]``, the approximate one maxes only
+    the kept neighbors.  Returns the mean relative L2 error across
+    centroids — the quantity future work would trade against accuracy.
+    """
+    pft = np.asarray(pft, dtype=np.float64)
+    nit_indices = np.asarray(nit_indices)
+    gathered = pft[nit_indices]  # (n_centroids, K, M)
+    exact = gathered.max(axis=1)
+    masked = np.where(kept_mask[:, :, None], gathered, -np.inf)
+    # A centroid with every neighbor dropped cannot occur (round 0
+    # always serves one address per bank), but guard anyway.
+    approx = np.where(
+        np.isfinite(masked).any(axis=1), masked.max(axis=1), 0.0
+    )
+    num = np.linalg.norm(approx - exact, axis=1)
+    den = np.maximum(np.linalg.norm(exact, axis=1), 1e-12)
+    return float((num / den).mean())

@@ -1,0 +1,41 @@
+"""LPDDR3 DRAM model (§VI: Micron 16Gb LPDDR3-1600, 4 channels).
+
+The paper computes DRAM energy from memory traffic using Micron's power
+calculators and notes that DRAM energy per bit is about 70x that of
+SRAM.  We keep exactly that structure: a bandwidth for latency
+estimates and a per-byte energy tied to the SRAM energy by the 70x
+ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DRAMModel", "LPDDR3"]
+
+
+@dataclass(frozen=True)
+class DRAMModel:
+    """Bandwidth/energy model of a mobile DRAM part."""
+
+    name: str = "LPDDR3-1600 x4ch"
+    #: Peak bandwidth in bytes/s (1600 MT/s * 4 channels * 4 B/transfer).
+    bandwidth: float = 25.6e9
+    #: Energy per byte in Joules (~4.3 pJ/bit, 70x the SRAM energy/bit).
+    energy_per_byte: float = 34.4e-12
+
+    def transfer_time(self, n_bytes):
+        """Seconds to move ``n_bytes`` at peak bandwidth."""
+        if n_bytes < 0:
+            raise ValueError("byte count must be non-negative")
+        return n_bytes / self.bandwidth
+
+    def transfer_energy(self, n_bytes):
+        """Joules to move ``n_bytes``."""
+        if n_bytes < 0:
+            raise ValueError("byte count must be non-negative")
+        return n_bytes * self.energy_per_byte
+
+
+#: The default part used throughout the evaluation.
+LPDDR3 = DRAMModel()

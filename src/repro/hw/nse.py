@@ -1,0 +1,39 @@
+"""Neighbor Search Engine model (§VII-E).
+
+The paper's futuristic SoC adds the Tigris neighbor-search accelerator
+[59], which it characterizes simply as "over 60x speedup over the GPU"
+for the neighbor-search kernels.  We model the NSE the same way: a
+fixed speedup and a proportional power draw, applied to the N-phase
+ops of a trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NeighborSearchEngine", "TIGRIS_NSE"]
+
+
+@dataclass(frozen=True)
+class NeighborSearchEngine:
+    """Fixed-speedup accelerator for the N phase."""
+
+    name: str = "Tigris NSE"
+    #: Speedup over the mobile GPU for neighbor search kernels.
+    speedup_over_gpu: float = 60.0
+    #: Busy power (W); an ASIC search engine draws far less than a GPU.
+    busy_power: float = 1.2
+
+    def __post_init__(self):
+        if self.speedup_over_gpu <= 0:
+            raise ValueError("speedup must be positive")
+
+    def search_time(self, gpu_time):
+        """NSE execution time for a search the GPU runs in ``gpu_time``."""
+        return gpu_time / self.speedup_over_gpu
+
+    def search_energy(self, gpu_time):
+        return self.search_time(gpu_time) * self.busy_power
+
+
+TIGRIS_NSE = NeighborSearchEngine()

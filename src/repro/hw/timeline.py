@@ -1,0 +1,162 @@
+"""Execution timelines: when each engine is busy during a network run.
+
+The SoC model reports per-phase totals; the timeline reconstructs the
+schedule itself — per module, which window the GPU (N), the NPU (F) and
+the AU (A) occupy — so the Fig 8 overlap is inspectable and renderable
+as a text Gantt chart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Interval", "Timeline", "build_timeline", "render_gantt"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    engine: str
+    module: str
+    start: float
+    end: float
+
+    @property
+    def duration(self):
+        return self.end - self.start
+
+
+@dataclass
+class Timeline:
+    intervals: list = field(default_factory=list)
+
+    @property
+    def makespan(self):
+        return max((iv.end for iv in self.intervals), default=0.0)
+
+    def engine_busy(self, engine):
+        return sum(iv.duration for iv in self.intervals
+                   if iv.engine == engine)
+
+    def utilization(self, engine):
+        span = self.makespan
+        return self.engine_busy(engine) / span if span else 0.0
+
+    def overlap(self, engine_a, engine_b):
+        """Total time both engines are simultaneously busy."""
+        total = 0.0
+        for a in self.intervals:
+            if a.engine != engine_a:
+                continue
+            for b in self.intervals:
+                if b.engine != engine_b:
+                    continue
+                total += max(
+                    0.0, min(a.end, b.end) - max(a.start, b.start)
+                )
+        return total
+
+
+def build_timeline(soc, network, config):
+    """Schedule a network on an SoC configuration.
+
+    Mirrors :meth:`repro.hw.soc.SoC.simulate`'s latency composition but
+    keeps the start/end of every engine window.  Returns a
+    :class:`Timeline` whose makespan equals the simulator's latency up
+    to floating-point noise.
+    """
+    from .soc import CONFIGS, synthetic_nit
+    from ..profiling.trace import GatherOp
+
+    if isinstance(config, str):
+        config = CONFIGS[config]
+    trace = network.trace(config.strategy)
+    specs = {m.spec.name: m.spec for m in network.encoder}
+    for extra in getattr(network, "box_encoder", []):
+        specs[extra.spec.name] = extra.spec
+
+    groups = []
+    for op in trace:
+        if groups and groups[-1][0] == op.module:
+            groups[-1][1].append(op)
+        else:
+            groups.append((op.module, [op]))
+
+    timeline = Timeline()
+    clock = 0.0
+    for module_name, ops in groups:
+        n_time = a_time = f_time = o_time = 0.0
+        au_done = False
+        for op in ops:
+            if op.phase == "N":
+                n_time += soc._n_cost(op, config)[0]
+            elif op.phase == "A":
+                if config.use_au and module_name in specs:
+                    if not au_done and isinstance(op, GatherOp):
+                        spec = specs[module_name]
+                        nit = synthetic_nit(spec)
+                        a_time += soc.au.process(
+                            nit, op.feature_dim, op.table_rows
+                        ).time
+                        au_done = True
+                    continue
+                a_time += soc.gpu.op_time(op)
+            elif op.phase == "F":
+                f_time += soc._f_cost(op, config)[0]
+            else:
+                o_time += soc.gpu.op_time(op)
+
+        if config.overlap:
+            if n_time:
+                timeline.intervals.append(
+                    Interval("GPU:N", module_name, clock, clock + n_time)
+                )
+            if f_time:
+                timeline.intervals.append(
+                    Interval("NPU:F", module_name, clock, clock + f_time)
+                )
+            clock += max(n_time, f_time)
+        else:
+            if n_time:
+                timeline.intervals.append(
+                    Interval("GPU:N", module_name, clock, clock + n_time)
+                )
+                clock += n_time
+            if f_time:
+                engine = "NPU:F" if config.use_npu else "GPU:F"
+                timeline.intervals.append(
+                    Interval(engine, module_name, clock, clock + f_time)
+                )
+                clock += f_time
+        if a_time:
+            engine = "AU:A" if config.use_au else "GPU:A"
+            timeline.intervals.append(
+                Interval(engine, module_name, clock, clock + a_time)
+            )
+            clock += a_time
+        if o_time:
+            timeline.intervals.append(
+                Interval("GPU:O", module_name, clock, clock + o_time)
+            )
+            clock += o_time
+    return timeline
+
+
+def render_gantt(timeline, width=72):
+    """Render a text Gantt chart, one row per engine."""
+    span = timeline.makespan
+    if span == 0:
+        return "(empty timeline)"
+    engines = sorted({iv.engine for iv in timeline.intervals})
+    lines = []
+    for engine in engines:
+        row = [" "] * width
+        for iv in timeline.intervals:
+            if iv.engine != engine:
+                continue
+            lo = int(iv.start / span * (width - 1))
+            hi = max(lo + 1, int(iv.end / span * (width - 1)))
+            for i in range(lo, min(hi, width)):
+                row[i] = "#"
+        lines.append(f"{engine:7s} |{''.join(row)}|")
+    lines.append(f"{'':7s}  0{'':{width - 12}}{span * 1e3:.2f} ms")
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Neighbor search substrate: the operator ``N`` of the paper."""
+
+from .ball import ball_query
+from .grid import UniformGrid
+from .brute import knn_brute_force, pairwise_squared_distances
+from .kdtree import KDTree
+from .sampling import farthest_point_sampling, random_sampling
+from .stats import mean_occupancy, neighborhood_occupancy, occupancy_histogram
+
+__all__ = [
+    "knn_brute_force",
+    "pairwise_squared_distances",
+    "KDTree",
+    "UniformGrid",
+    "ball_query",
+    "farthest_point_sampling",
+    "random_sampling",
+    "neighborhood_occupancy",
+    "occupancy_histogram",
+    "mean_occupancy",
+]

@@ -1,0 +1,50 @@
+"""Ball query: radius-bounded neighborhood search.
+
+PointNet++ modules use ball query (radius search capped at K samples)
+rather than plain KNN so that neighborhoods have a bounded physical
+extent.  Rows are padded by repeating the first hit, matching the
+reference implementation's behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .brute import pairwise_squared_distances
+
+__all__ = ["ball_query"]
+
+
+def ball_query(points, queries, radius, max_samples):
+    """Up to ``max_samples`` points within ``radius`` of each query.
+
+    Returns
+    -------
+    indices : (Q, max_samples) int array
+        Neighbor indices.  If a query has fewer than ``max_samples``
+        points in range, the first found index is repeated (as in the
+        PointNet++ reference CUDA kernel).  If a query has *no* point in
+        range, the nearest point is used.
+    counts : (Q,) int array
+        Number of genuine (non-padded) neighbors per query.
+    """
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    if max_samples <= 0:
+        raise ValueError("max_samples must be positive")
+    d = pairwise_squared_distances(queries, points)
+    r_sq = radius * radius
+    q_count = d.shape[0]
+    indices = np.empty((q_count, max_samples), dtype=np.int64)
+    counts = np.empty(q_count, dtype=np.int64)
+    for row in range(q_count):
+        hits = np.nonzero(d[row] <= r_sq)[0]
+        if len(hits) == 0:
+            hits = np.array([int(np.argmin(d[row]))])
+        kept = hits[:max_samples]
+        counts[row] = len(kept)
+        if len(kept) < max_samples:
+            pad = np.full(max_samples - len(kept), kept[0])
+            kept = np.concatenate([kept, pad])
+        indices[row] = kept
+    return indices, counts

@@ -1,0 +1,70 @@
+"""Brute-force K-nearest-neighbor search.
+
+This is the operator ``N`` of the paper — the explicit neighbor search
+point cloud networks need because points are irregularly scattered in
+space (unlike pixels, which are indexed directly).  The brute-force
+version mirrors what the GPU kernels in the author artifact compute:
+an all-pairs distance matrix followed by a top-K selection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["knn_brute_force", "pairwise_squared_distances"]
+
+
+def pairwise_squared_distances(queries, points):
+    """(Q, D) x (N, D) -> (Q, N) squared Euclidean distances."""
+    queries = np.asarray(queries, dtype=np.float64)
+    points = np.asarray(points, dtype=np.float64)
+    if queries.ndim != 2 or points.ndim != 2:
+        raise ValueError("queries and points must be 2-D arrays")
+    if queries.shape[1] != points.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: queries have {queries.shape[1]} dims, "
+            f"points have {points.shape[1]}"
+        )
+    q_sq = (queries ** 2).sum(axis=1)[:, None]
+    p_sq = (points ** 2).sum(axis=1)[None, :]
+    d = q_sq + p_sq - 2.0 * queries @ points.T
+    np.maximum(d, 0.0, out=d)
+    return d
+
+def knn_brute_force(points, queries, k):
+    """Return the ``k`` nearest neighbors of each query.
+
+    Parameters
+    ----------
+    points:
+        (N, D) array to search in.
+    queries:
+        (Q, D) query points (typically a subset of ``points``: the
+        centroids chosen by sampling).
+    k:
+        Neighborhood size.  Must not exceed N.
+
+    Returns
+    -------
+    indices : (Q, k) int array
+        Neighbor indices into ``points``, sorted by increasing distance.
+    distances : (Q, k) float array
+        Corresponding Euclidean distances.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    queries = np.asarray(queries, dtype=np.float64)
+    n = points.shape[0]
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if k > n:
+        raise ValueError(f"k={k} exceeds the number of points ({n})")
+    d = pairwise_squared_distances(queries, points)
+    if k < n:
+        part = np.argpartition(d, k - 1, axis=1)[:, :k]
+    else:
+        part = np.broadcast_to(np.arange(n), (queries.shape[0], n)).copy()
+    part_d = np.take_along_axis(d, part, axis=1)
+    order = np.argsort(part_d, axis=1, kind="stable")
+    indices = np.take_along_axis(part, order, axis=1)
+    distances = np.sqrt(np.take_along_axis(part_d, order, axis=1))
+    return indices, distances

@@ -1,0 +1,137 @@
+"""A k-d tree for nearest-neighbor and radius queries.
+
+The paper points to dedicated neighbor-search engines (Tigris [59])
+built around tree traversal; this module provides the algorithmic
+substrate so that the library has a real tree-based search path in
+addition to the brute-force one, and so the NSE model has a concrete
+algorithm behind it.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+__all__ = ["KDTree"]
+
+_LEAF_SIZE = 16
+
+
+class _Node:
+    __slots__ = ("axis", "split", "left", "right", "indices")
+
+    def __init__(self, axis=-1, split=0.0, left=None, right=None, indices=None):
+        self.axis = axis
+        self.split = split
+        self.left = left
+        self.right = right
+        self.indices = indices  # leaf only
+
+    @property
+    def is_leaf(self):
+        return self.indices is not None
+
+
+class KDTree:
+    """Static k-d tree over an (N, D) point array."""
+
+    def __init__(self, points, leaf_size=_LEAF_SIZE):
+        self.points = np.asarray(points, dtype=np.float64)
+        if self.points.ndim != 2:
+            raise ValueError("points must be an (N, D) array")
+        if len(self.points) == 0:
+            raise ValueError("cannot build a KDTree over zero points")
+        self.leaf_size = max(1, int(leaf_size))
+        self._root = self._build(np.arange(len(self.points)), depth=0)
+
+    def _build(self, indices, depth):
+        if len(indices) <= self.leaf_size:
+            return _Node(indices=indices)
+        pts = self.points[indices]
+        # Split along the widest axis for better balance on skewed data.
+        axis = int(np.argmax(pts.max(axis=0) - pts.min(axis=0)))
+        order = np.argsort(pts[:, axis], kind="stable")
+        indices = indices[order]
+        mid = len(indices) // 2
+        split = self.points[indices[mid], axis]
+        left = self._build(indices[:mid], depth + 1)
+        right = self._build(indices[mid:], depth + 1)
+        return _Node(axis=axis, split=split, left=left, right=right)
+
+    # -- queries -----------------------------------------------------------
+
+    def query(self, query, k=1):
+        """K nearest neighbors of one (D,) query point.
+
+        Returns (indices, distances) arrays of length ``k`` in order of
+        increasing distance.
+        """
+        query = np.asarray(query, dtype=np.float64)
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if k > len(self.points):
+            raise ValueError("k exceeds the number of indexed points")
+        # Max-heap of (-dist, index) keeping the k best so far.
+        heap = []
+
+        def visit(node):
+            if node.is_leaf:
+                d = np.sqrt(((self.points[node.indices] - query) ** 2).sum(axis=1))
+                for dist, idx in zip(d, node.indices):
+                    if len(heap) < k:
+                        heapq.heappush(heap, (-dist, int(idx)))
+                    elif dist < -heap[0][0]:
+                        heapq.heapreplace(heap, (-dist, int(idx)))
+                return
+            diff = query[node.axis] - node.split
+            near, far = (node.right, node.left) if diff >= 0 else (node.left, node.right)
+            visit(near)
+            if len(heap) < k or abs(diff) < -heap[0][0]:
+                visit(far)
+
+        visit(self._root)
+        best = sorted(((-nd, i) for nd, i in heap))
+        indices = np.array([i for _, i in best], dtype=np.int64)
+        distances = np.array([d for d, _ in best])
+        return indices, distances
+
+    def query_batch(self, queries, k=1):
+        """Vectorized wrapper: (Q, D) queries -> (Q, k) indices/distances."""
+        queries = np.asarray(queries, dtype=np.float64)
+        out_i = np.empty((len(queries), k), dtype=np.int64)
+        out_d = np.empty((len(queries), k))
+        for row, q in enumerate(queries):
+            out_i[row], out_d[row] = self.query(q, k)
+        return out_i, out_d
+
+    def query_radius(self, query, radius):
+        """All indexed points within ``radius`` of the query point."""
+        query = np.asarray(query, dtype=np.float64)
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        hits = []
+
+        def visit(node):
+            if node.is_leaf:
+                d = np.sqrt(((self.points[node.indices] - query) ** 2).sum(axis=1))
+                hits.extend(int(i) for i, di in zip(node.indices, d) if di <= radius)
+                return
+            diff = query[node.axis] - node.split
+            near, far = (node.right, node.left) if diff >= 0 else (node.left, node.right)
+            visit(near)
+            if abs(diff) <= radius:
+                visit(far)
+
+        visit(self._root)
+        return np.array(sorted(hits), dtype=np.int64)
+
+    def depth(self):
+        """Maximum depth of the tree (root = 0)."""
+
+        def d(node):
+            if node.is_leaf:
+                return 0
+            return 1 + max(d(node.left), d(node.right))
+
+        return d(self._root)

@@ -1,0 +1,48 @@
+"""Centroid sampling strategies.
+
+Point cloud modules apply neighbor search to a subset of the input
+points (the "stride" analogy of §III-A).  PointNet++ originally uses
+farthest point sampling; the paper's optimized baseline (§VI) replaces
+it with random sampling "with little accuracy loss".  Both are provided.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["farthest_point_sampling", "random_sampling"]
+
+
+def farthest_point_sampling(points, n_samples, start=0):
+    """Greedy farthest-point sampling.
+
+    Iteratively picks the point farthest from the already-picked set,
+    giving good spatial coverage.  O(n_samples * N).
+
+    Returns the indices of the sampled points, starting with ``start``.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    n = len(points)
+    if not 0 < n_samples <= n:
+        raise ValueError(f"n_samples must be in [1, {n}], got {n_samples}")
+    if not 0 <= start < n:
+        raise ValueError("start index out of range")
+    chosen = np.empty(n_samples, dtype=np.int64)
+    chosen[0] = start
+    best = ((points - points[start]) ** 2).sum(axis=1)
+    for i in range(1, n_samples):
+        nxt = int(np.argmax(best))
+        chosen[i] = nxt
+        d = ((points - points[nxt]) ** 2).sum(axis=1)
+        np.minimum(best, d, out=best)
+    return chosen
+
+
+def random_sampling(points, n_samples, rng=None):
+    """Uniform sampling without replacement (the paper's fast baseline)."""
+    points = np.asarray(points)
+    n = len(points)
+    if not 0 < n_samples <= n:
+        raise ValueError(f"n_samples must be in [1, {n}], got {n_samples}")
+    rng = rng or np.random.default_rng(0)
+    return np.sort(rng.choice(n, size=n_samples, replace=False)).astype(np.int64)

@@ -1,0 +1,54 @@
+"""Neighborhood statistics (Fig 6 of the paper).
+
+The key memory-cost driver in point cloud networks is that one input
+point belongs to many overlapping neighborhoods and is re-normalized in
+each.  These helpers compute how many neighborhoods each point occurs
+in, and the Fig 6 histogram over those counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["neighborhood_occupancy", "occupancy_histogram", "mean_occupancy"]
+
+
+def neighborhood_occupancy(neighbor_indices, n_points):
+    """Count, per input point, the neighborhoods it appears in.
+
+    Parameters
+    ----------
+    neighbor_indices:
+        (Q, K) array of neighbor indices (one row per centroid).
+    n_points:
+        Size of the searched point set.
+
+    Returns
+    -------
+    (n_points,) int array of occurrence counts.
+    """
+    idx = np.asarray(neighbor_indices)
+    counts = np.bincount(idx.reshape(-1), minlength=n_points)
+    if len(counts) > n_points:
+        raise ValueError("neighbor index exceeds n_points")
+    return counts
+
+
+def occupancy_histogram(counts, max_neighborhoods=None):
+    """Fig 6 series: x = #neighborhoods, y = #points occurring in x.
+
+    Returns (xs, ys) arrays; ``xs`` spans 0..max occupancy (or the cap).
+    """
+    counts = np.asarray(counts)
+    top = int(counts.max()) if len(counts) else 0
+    if max_neighborhoods is not None:
+        top = min(top, max_neighborhoods)
+    xs = np.arange(top + 1)
+    ys = np.bincount(np.minimum(counts, top), minlength=top + 1)
+    return xs, ys
+
+
+def mean_occupancy(counts):
+    """Average number of neighborhoods per point (paper: ~20-100)."""
+    counts = np.asarray(counts)
+    return float(counts.mean()) if len(counts) else 0.0

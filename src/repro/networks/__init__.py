@@ -1,0 +1,53 @@
+"""The seven benchmark networks of Table I."""
+
+from .base import FCHead, FeaturePropagation, PointCloudNetwork, scale_spec
+from .densepoint import DensePoint
+from .dgcnn import DGCNNClassification, DGCNNSegmentation
+from .fpointnet import FPointNet
+from .generic import GenericPointCloudNetwork, validate_spec_chain
+from .ldgcnn import LDGCNN
+from .pointnet2 import PointNet2Classification, PointNet2Segmentation
+from .registry import (
+    ALL_NETWORKS,
+    NETWORK_CLASSES,
+    PROFILED_NETWORKS,
+    build_network,
+    table1_rows,
+)
+from .training import (
+    TrainResult,
+    evaluate_classifier,
+    evaluate_detector,
+    evaluate_segmenter,
+    train_classifier,
+    train_detector,
+    train_segmenter,
+)
+
+__all__ = [
+    "PointCloudNetwork",
+    "FeaturePropagation",
+    "FCHead",
+    "scale_spec",
+    "PointNet2Classification",
+    "PointNet2Segmentation",
+    "DGCNNClassification",
+    "DGCNNSegmentation",
+    "FPointNet",
+    "GenericPointCloudNetwork",
+    "validate_spec_chain",
+    "LDGCNN",
+    "DensePoint",
+    "NETWORK_CLASSES",
+    "PROFILED_NETWORKS",
+    "ALL_NETWORKS",
+    "build_network",
+    "table1_rows",
+    "TrainResult",
+    "train_classifier",
+    "evaluate_classifier",
+    "train_segmenter",
+    "evaluate_segmenter",
+    "train_detector",
+    "evaluate_detector",
+]

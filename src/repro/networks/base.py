@@ -1,0 +1,208 @@
+"""Base classes shared by the seven benchmark networks (Table I).
+
+Every network is a stack of :class:`~repro.core.module.PointCloudModule`
+encoders plus task-specific machinery (feature-propagation decoders for
+segmentation, fully-connected heads for classification/regression).
+
+Networks run in two modes:
+
+* **execute** — real numpy/autograd forward over a point cloud, used by
+  the accuracy experiments (Fig 16) at reduced scale;
+* **trace** — analytic emission of the operator sequence at the paper's
+  full input scale, consumed by the profiling analytics and the
+  hardware models (Figs 4-22).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import ModuleSpec, PointCloudModule, emit_module_trace
+from ..neighbors import knn_brute_force
+from ..neural import Dropout, Linear, Module, ReLU, Sequential, Tensor, concat
+from ..profiling.trace import (
+    ConcatOp,
+    InterpolateOp,
+    MatMulOp,
+    ReduceMaxOp,
+    Trace,
+)
+
+__all__ = ["PointCloudNetwork", "FeaturePropagation", "FCHead", "scale_spec"]
+
+
+def scale_spec(spec, factor):
+    """Scale a module spec's point counts (and cap k) by ``factor``.
+
+    Used to derive toy-scale configurations for training from the
+    paper-scale ones, keeping the architecture (MLP widths) intact.
+    """
+    if factor <= 0:
+        raise ValueError("scale factor must be positive")
+    n_in = max(1, int(round(spec.n_in * factor)))
+    n_out = max(1, min(n_in, int(round(spec.n_out * factor))))
+    if factor >= 1:
+        k = min(n_in, spec.k)
+    else:
+        # Scale neighborhood size with density, but keep at least 8
+        # neighbors — a K of 1-2 degenerates to self-only offsets and
+        # starves the module of signal.
+        k = min(n_in, max(min(8, spec.k), int(round(spec.k * factor))))
+    return ModuleSpec(
+        spec.name, n_in, n_out, k, spec.mlp_dims, search_space=spec.search_space
+    )
+
+
+class FCHead(Module):
+    """Fully-connected classification/regression head."""
+
+    def __init__(self, dims, dropout=0.0, rng=None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.dims = list(dims)
+        layers = []
+        for i, (a, b) in enumerate(zip(dims[:-1], dims[1:])):
+            layers.append(Linear(a, b, rng=rng))
+            if i < len(dims) - 2:
+                layers.append(ReLU())
+                if dropout:
+                    layers.append(Dropout(dropout, rng=rng))
+        self.net = Sequential(*layers)
+
+    def forward(self, x):
+        return self.net(x)
+
+    def emit_trace(self, trace, rows=1, module="head"):
+        for a, b in zip(self.dims[:-1], self.dims[1:]):
+            trace.add(MatMulOp("F", module, rows=rows, in_dim=a, out_dim=b))
+
+
+class FeaturePropagation(Module):
+    """PointNet++ feature propagation (decoder) module.
+
+    Interpolates coarse features onto the fine point set with
+    inverse-distance weights over the 3 nearest coarse points (the
+    ``three_interpolate`` kernel the paper's baseline optimizes), then
+    concatenates skip features and applies a unit MLP.
+    Delayed-aggregation does not alter FP modules; they contribute to
+    the F phase identically under every strategy.
+    """
+
+    K = 3
+
+    def __init__(self, name, n_points, mlp_dims, rng=None):
+        super().__init__()
+        from ..neural import SharedMLP
+
+        self.name = name
+        self.n_points = n_points
+        self.mlp = SharedMLP(list(mlp_dims), rng=rng)
+
+    def forward(self, fine_coords, fine_feats, coarse_coords, coarse_feats):
+        """Propagate (n_coarse, C) features to (n_fine, ...) points."""
+        k = min(self.K, len(coarse_coords))
+        idx, dist = knn_brute_force(coarse_coords, fine_coords, k)
+        weights = 1.0 / np.maximum(dist, 1e-8)
+        weights = weights / weights.sum(axis=1, keepdims=True)
+        gathered = coarse_feats.gather(idx)  # (n_fine, k, C)
+        interpolated = (gathered * Tensor(weights[:, :, None])).sum(axis=1)
+        if fine_feats is not None:
+            interpolated = concat([fine_feats, interpolated], axis=1)
+        return self.mlp(interpolated)
+
+    def emit_trace(self, trace, n_coarse):
+        dims = self.mlp.dims
+        trace.add(
+            InterpolateOp(
+                "O", self.name, n_points=self.n_points, k=self.K, feature_dim=dims[0]
+            )
+        )
+        for a, b in zip(dims[:-1], dims[1:]):
+            trace.add(MatMulOp("F", self.name, rows=self.n_points, in_dim=a, out_dim=b))
+
+
+class PointCloudNetwork(Module):
+    """Common driver for the benchmark networks.
+
+    Subclasses define ``self.encoder`` (a list of PointCloudModules)
+    and implement :meth:`_forward_tail` / :meth:`_emit_tail_trace`.
+    """
+
+    #: Short name used in figures, e.g. "PointNet++ (c)".
+    name = "base"
+    #: "classification" | "segmentation" | "detection"
+    task = "classification"
+    #: Dataset the paper evaluates on.
+    dataset = "ModelNet40"
+    #: Publication year (Table I).
+    year = 2017
+    #: Canonical input size at paper scale.
+    paper_n_points = 1024
+
+    def __init__(self, modules, rng=None):
+        super().__init__()
+        self.encoder = list(modules)
+        self._rng = rng or np.random.default_rng(0)
+
+    # -- execution -----------------------------------------------------------
+
+    @property
+    def n_points(self):
+        return self.encoder[0].spec.n_in
+
+    def forward(self, coords, strategy="delayed", trace=None):
+        """Run the network over one (n_points, 3) cloud.
+
+        Returns task-dependent output (class logits, per-point logits,
+        or detection dict).
+        """
+        coords = np.asarray(coords, dtype=np.float64)
+        if coords.shape != (self.n_points, 3):
+            raise ValueError(
+                f"{self.name} expects {(self.n_points, 3)} coords, "
+                f"got {coords.shape}"
+            )
+        feats = Tensor(coords.copy())
+        return self._forward_body(coords, feats, strategy, trace)
+
+    def _forward_body(self, coords, feats, strategy, trace):
+        raise NotImplementedError
+
+    # -- tracing ------------------------------------------------------------
+
+    def trace(self, strategy="original"):
+        """Emit the full-network operator trace at this instance's scale."""
+        t = Trace(self.name, strategy)
+        self._emit_trace(t, strategy)
+        return t
+
+    def _emit_trace(self, trace, strategy):
+        raise NotImplementedError
+
+    # -- shared helpers -------------------------------------------------------
+
+    def _run_encoder(self, coords, feats, strategy, trace, keep_intermediates=False):
+        intermediates = [(coords, feats)]
+        for module in self.encoder:
+            out = module(coords, feats, strategy=strategy, trace=trace)
+            coords, feats = out.coords, out.features
+            intermediates.append((coords, feats))
+        if keep_intermediates:
+            return coords, feats, intermediates
+        return coords, feats
+
+    def _emit_encoder_trace(self, trace, strategy):
+        for module in self.encoder:
+            emit_module_trace(module.spec, strategy, trace)
+
+    @staticmethod
+    def _emit_global_max(trace, module, n_points, feature_dim):
+        trace.add(
+            ReduceMaxOp(
+                "F", module, n_centroids=1, k=n_points, feature_dim=feature_dim
+            )
+        )
+
+    @staticmethod
+    def _emit_concat(trace, module, rows, dim):
+        trace.add(ConcatOp("O", module, rows=rows, dim=dim))

@@ -1,0 +1,146 @@
+"""DGCNN [53] — dynamic graph CNN, classification (c) and segmentation (s).
+
+DGCNN's EdgeConv modules keep the full point count (Nout == Nin) and —
+unlike PointNet++ — build each module's neighborhood graph in the
+*feature space* of the previous module (§V-A: "the neighbor search in
+module i searches in the output feature space of module i-1"), which is
+why neighbor search dominates DGCNN's runtime (Fig 5) and why the
+current module's output must round-trip through memory to the GPU.
+
+Following the paper's abstraction (Fig 2b), each EdgeConv aggregates
+neighbor-minus-centroid offsets; the classification variant has a
+single MLP layer per module (§VII-C).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import ModuleSpec, PointCloudModule
+from ..neural import SharedMLP, Tensor, concat
+from .base import FCHead, PointCloudNetwork, scale_spec
+
+__all__ = ["DGCNNClassification", "DGCNNSegmentation"]
+
+
+_CLS_SPECS = (
+    ModuleSpec("ec1", n_in=1024, n_out=1024, k=20, mlp_dims=(3, 64),
+               search_space="coords"),
+    ModuleSpec("ec2", n_in=1024, n_out=1024, k=20, mlp_dims=(64, 64),
+               search_space="features"),
+    ModuleSpec("ec3", n_in=1024, n_out=1024, k=20, mlp_dims=(64, 128),
+               search_space="features"),
+    ModuleSpec("ec4", n_in=1024, n_out=1024, k=20, mlp_dims=(128, 256),
+               search_space="features"),
+)
+
+_SEG_SPECS = (
+    ModuleSpec("ec1", n_in=2048, n_out=2048, k=20, mlp_dims=(3, 64, 64),
+               search_space="coords"),
+    ModuleSpec("ec2", n_in=2048, n_out=2048, k=20, mlp_dims=(64, 64, 64),
+               search_space="features"),
+    ModuleSpec("ec3", n_in=2048, n_out=2048, k=20, mlp_dims=(64, 64),
+               search_space="features"),
+)
+
+
+class DGCNNClassification(PointCloudNetwork):
+    """DGCNN (c): four EdgeConvs, skip concat, global embedding, FC head."""
+
+    name = "DGCNN (c)"
+    task = "classification"
+    dataset = "ModelNet40"
+    year = 2019
+    paper_n_points = 1024
+
+    def __init__(self, num_classes=40, scale=1.0, rng=None):
+        rng = rng or np.random.default_rng(0)
+        specs = [scale_spec(s, scale) for s in _CLS_SPECS]
+        modules = [PointCloudModule(s, rng=rng) for s in specs]
+        super().__init__(modules, rng=rng)
+        self.num_classes = num_classes
+        skip_dim = sum(s.out_dim for s in specs)  # 64+64+128+256 = 512
+        self.embed = SharedMLP([skip_dim, 1024], rng=rng)
+        self.head = FCHead([1024, 512, 256, num_classes], rng=rng)
+
+    def _forward_body(self, coords, feats, strategy, trace):
+        skips = []
+        for module in self.encoder:
+            out = module(coords, feats, strategy=strategy, trace=trace)
+            feats = out.features
+            skips.append(feats)
+        stacked = concat(skips, axis=1)  # (n, 512)
+        embedded = self.embed(stacked)   # (n, 1024)
+        pooled = embedded.max(axis=0, keepdims=True)  # (1, 1024)
+        logits = self.head(pooled)
+        if trace is not None:
+            self._emit_tail(trace)
+        return logits
+
+    def _emit_tail(self, trace):
+        n = self.n_points
+        skip_dim = self.embed.dims[0]
+        self._emit_concat(trace, "skip", rows=n, dim=skip_dim)
+        from ..profiling.trace import MatMulOp
+
+        trace.add(MatMulOp("F", "embed", rows=n, in_dim=skip_dim,
+                           out_dim=self.embed.dims[-1]))
+        self._emit_global_max(trace, "embed", n, self.embed.dims[-1])
+        self.head.emit_trace(trace, rows=1)
+
+    def _emit_trace(self, trace, strategy):
+        self._emit_encoder_trace(trace, strategy)
+        self._emit_tail(trace)
+
+
+class DGCNNSegmentation(PointCloudNetwork):
+    """DGCNN (s): three EdgeConvs, global embedding broadcast to points."""
+
+    name = "DGCNN (s)"
+    task = "segmentation"
+    dataset = "ShapeNet"
+    year = 2019
+    paper_n_points = 2048
+
+    def __init__(self, num_classes=50, scale=1.0, rng=None):
+        rng = rng or np.random.default_rng(0)
+        specs = [scale_spec(s, scale) for s in _SEG_SPECS]
+        modules = [PointCloudModule(s, rng=rng) for s in specs]
+        super().__init__(modules, rng=rng)
+        self.num_classes = num_classes
+        skip_dim = sum(s.out_dim for s in specs)  # 64+64+64 = 192
+        self.embed = SharedMLP([skip_dim, 1024], rng=rng)
+        self.head = FCHead([1024 + skip_dim, 256, 256, 128, num_classes], rng=rng)
+
+    def _forward_body(self, coords, feats, strategy, trace):
+        skips = []
+        for module in self.encoder:
+            out = module(coords, feats, strategy=strategy, trace=trace)
+            feats = out.features
+            skips.append(feats)
+        stacked = concat(skips, axis=1)  # (n, 192)
+        embedded = self.embed(stacked)
+        pooled = embedded.max(axis=0, keepdims=True)  # (1, 1024)
+        n = stacked.shape[0]
+        broadcast = pooled.gather(np.zeros(n, dtype=np.int64))  # (n, 1024)
+        fused = concat([broadcast, stacked], axis=1)
+        logits = self.head(fused)  # (n, num_classes)
+        if trace is not None:
+            self._emit_tail(trace)
+        return logits
+
+    def _emit_tail(self, trace):
+        n = self.n_points
+        skip_dim = self.embed.dims[0]
+        from ..profiling.trace import MatMulOp
+
+        self._emit_concat(trace, "skip", rows=n, dim=skip_dim)
+        trace.add(MatMulOp("F", "embed", rows=n, in_dim=skip_dim,
+                           out_dim=self.embed.dims[-1]))
+        self._emit_global_max(trace, "embed", n, self.embed.dims[-1])
+        self._emit_concat(trace, "fuse", rows=n, dim=self.head.dims[0])
+        self.head.emit_trace(trace, rows=n)
+
+    def _emit_trace(self, trace, strategy):
+        self._emit_encoder_trace(trace, strategy)
+        self._emit_tail(trace)

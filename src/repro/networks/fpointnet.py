@@ -1,0 +1,107 @@
+"""F-PointNet [41] — frustum-based 3D object detection on KITTI.
+
+F-PointNet lifts a 2D detection to a 3D frustum of points, segments the
+object points inside the frustum, and regresses an amodal 3D box from
+the segmented points.  The paper profiles the point cloud backbone; the
+neighbor searches "return mostly 128 neighbors" (§VII-D), which makes
+F-PointNet the stress case for the aggregation unit's bank conflicts.
+
+Our reproduction implements both stages (instance segmentation +
+box estimation) on PointNet++-style set-abstraction backbones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import ModuleSpec, PointCloudModule
+from ..neural import Tensor
+from .base import FCHead, FeaturePropagation, PointCloudNetwork, scale_spec
+
+__all__ = ["FPointNet"]
+
+
+_SEG_SPECS = (
+    ModuleSpec("seg_sa1", n_in=1024, n_out=128, k=128, mlp_dims=(3, 64, 64, 128)),
+    ModuleSpec("seg_sa2", n_in=128, n_out=32, k=64, mlp_dims=(128, 128, 128, 256)),
+    ModuleSpec("seg_sa3", n_in=32, n_out=1, k=32, mlp_dims=(256, 256, 512, 1024)),
+)
+
+_BOX_SPECS = (
+    ModuleSpec("box_sa1", n_in=512, n_out=128, k=128, mlp_dims=(3, 128, 128, 256)),
+    ModuleSpec("box_sa2", n_in=128, n_out=1, k=128, mlp_dims=(256, 256, 512)),
+)
+
+#: Box regression output: center (3) + size (3) + heading (1).
+BOX_DIM = 7
+
+
+class FPointNet(PointCloudNetwork):
+    """F-PointNet: frustum segmentation + amodal box regression."""
+
+    name = "F-PointNet"
+    task = "detection"
+    dataset = "KITTI"
+    year = 2018
+    paper_n_points = 1024
+
+    def __init__(self, num_classes=3, scale=1.0, rng=None):
+        rng = rng or np.random.default_rng(0)
+        seg_specs = [scale_spec(s, scale) for s in _SEG_SPECS]
+        box_specs = [scale_spec(s, scale) for s in _BOX_SPECS]
+        modules = [PointCloudModule(s, rng=rng) for s in seg_specs]
+        super().__init__(modules, rng=rng)
+        self.num_classes = num_classes
+        n = [s.n_in for s in seg_specs]
+        self.fp3 = FeaturePropagation("seg_fp3", n[2], (1024 + 256, 256, 256), rng=rng)
+        self.fp2 = FeaturePropagation("seg_fp2", n[1], (256 + 128, 256, 128), rng=rng)
+        self.fp1 = FeaturePropagation("seg_fp1", n[0], (128 + 3, 128, 128), rng=rng)
+        self.mask_head = FCHead([128, 64, 2], rng=rng)
+        self.box_encoder = [PointCloudModule(s, rng=rng) for s in box_specs]
+        self.box_head = FCHead([512, 256, BOX_DIM + num_classes], rng=rng)
+        self._box_n_in = box_specs[0].n_in
+
+    def _forward_body(self, coords, feats, strategy, trace):
+        # Stage 1: instance segmentation over the frustum.
+        _, _, levels = self._run_encoder(
+            coords, feats, strategy, trace, keep_intermediates=True
+        )
+        (c0, f0), (c1, f1), (c2, f2), (c3, f3) = levels
+        up2 = self.fp3(c2, f2, c3, f3)
+        up1 = self.fp2(c1, f1, c2, up2)
+        up0 = self.fp1(c0, f0, c1, up1)
+        mask_logits = self.mask_head(up0)  # (n_points, 2)
+
+        # Stage 2: box estimation over the points ranked most likely to
+        # be on the object (differentiable selection is avoided, as in
+        # the original: the mask stage is trained with its own loss).
+        scores = mask_logits.data[:, 1] - mask_logits.data[:, 0]
+        order = np.argsort(-scores, kind="stable")[: self._box_n_in]
+        box_coords = coords[order]
+        # Center the selected points (the original's mask-centroid shift).
+        box_coords = box_coords - box_coords.mean(axis=0, keepdims=True)
+        box_feats = Tensor(box_coords.copy())
+        for module in self.box_encoder:
+            out = module(box_coords, box_feats, strategy=strategy, trace=trace)
+            box_coords, box_feats = out.coords, out.features
+        box_out = self.box_head(box_feats)  # (1, BOX_DIM + classes)
+
+        if trace is not None:
+            self._emit_tail(trace)
+        return {"mask_logits": mask_logits, "box": box_out}
+
+    def _emit_tail(self, trace):
+        seg_specs = [m.spec for m in self.encoder]
+        self.fp3.emit_trace(trace, n_coarse=seg_specs[2].n_out)
+        self.fp2.emit_trace(trace, n_coarse=seg_specs[1].n_out)
+        self.fp1.emit_trace(trace, n_coarse=seg_specs[0].n_out)
+        self.mask_head.emit_trace(trace, rows=seg_specs[0].n_in)
+        self.box_head.emit_trace(trace, rows=1)
+
+    def _emit_trace(self, trace, strategy):
+        from ..core import emit_module_trace
+
+        self._emit_encoder_trace(trace, strategy)
+        for module in self.box_encoder:
+            emit_module_trace(module.spec, strategy, trace)
+        self._emit_tail(trace)

@@ -1,0 +1,85 @@
+"""LDGCNN [65] — linked dynamic graph CNN (classification).
+
+LDGCNN links hierarchical features: each EdgeConv consumes the
+concatenation of the raw coordinates and every previous module's
+output, and the final embedding sees all of them.  Like DGCNN (c), each
+module has a single MLP layer (§VII-C), so the limited (GNN-style)
+delayed-aggregation variant is as strong as the full one on this
+network — one of the paper's observations in Fig 17.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import ModuleSpec, PointCloudModule
+from ..neural import SharedMLP, concat
+from .base import FCHead, PointCloudNetwork, scale_spec
+
+__all__ = ["LDGCNN"]
+
+
+def _linked_specs(n=1024, k=20):
+    dims = []
+    widths = (64, 64, 64, 128)
+    in_dim = 3
+    for i, w in enumerate(widths):
+        search = "coords" if i == 0 else "features"
+        dims.append(
+            ModuleSpec(f"ec{i + 1}", n_in=n, n_out=n, k=k, mlp_dims=(in_dim, w),
+                       search_space=search)
+        )
+        in_dim += w  # next module sees the link concat
+    return tuple(dims)
+
+
+_SPECS = _linked_specs()
+
+
+class LDGCNN(PointCloudNetwork):
+    """LDGCNN: linked EdgeConvs + global embedding + FC classifier."""
+
+    name = "LDGCNN"
+    task = "classification"
+    dataset = "ModelNet40"
+    year = 2019
+    paper_n_points = 1024
+
+    def __init__(self, num_classes=40, scale=1.0, rng=None):
+        rng = rng or np.random.default_rng(0)
+        specs = [scale_spec(s, scale) for s in _SPECS]
+        modules = [PointCloudModule(s, rng=rng) for s in specs]
+        super().__init__(modules, rng=rng)
+        self.num_classes = num_classes
+        link_dim = 3 + sum(s.out_dim for s in specs)  # 3+64+64+64+128 = 323
+        self.embed = SharedMLP([link_dim, 1024], rng=rng)
+        self.head = FCHead([1024, 512, 256, num_classes], rng=rng)
+
+    def _forward_body(self, coords, feats, strategy, trace):
+        links = [feats]  # raw coordinates
+        for module in self.encoder:
+            module_in = links[0] if len(links) == 1 else concat(links, axis=1)
+            out = module(coords, module_in, strategy=strategy, trace=trace)
+            links.append(out.features)
+        fused = concat(links, axis=1)
+        embedded = self.embed(fused)
+        pooled = embedded.max(axis=0, keepdims=True)
+        logits = self.head(pooled)
+        if trace is not None:
+            self._emit_tail(trace)
+        return logits
+
+    def _emit_tail(self, trace):
+        from ..profiling.trace import MatMulOp
+
+        n = self.n_points
+        link_dim = self.embed.dims[0]
+        self._emit_concat(trace, "link", rows=n, dim=link_dim)
+        trace.add(MatMulOp("F", "embed", rows=n, in_dim=link_dim,
+                           out_dim=self.embed.dims[-1]))
+        self._emit_global_max(trace, "embed", n, self.embed.dims[-1])
+        self.head.emit_trace(trace, rows=1)
+
+    def _emit_trace(self, trace, strategy):
+        self._emit_encoder_trace(trace, strategy)
+        self._emit_tail(trace)

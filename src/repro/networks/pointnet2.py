@@ -1,0 +1,107 @@
+"""PointNet++ [43] — classification (c) and segmentation (s) variants.
+
+The configurations follow the single-scale-grouping reference models the
+paper characterizes: Fig 3 describes the first module exactly (1024 ->
+512 centroids, K=32, MLP [3, 64, 64, 128]).  Both variants support a
+``scale`` factor so the same architecture trains at toy scale on the
+synthetic datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import ModuleSpec, PointCloudModule
+from ..neural import Tensor
+from .base import FCHead, FeaturePropagation, PointCloudNetwork, scale_spec
+
+__all__ = ["PointNet2Classification", "PointNet2Segmentation"]
+
+
+_CLS_SPECS = (
+    ModuleSpec("sa1", n_in=1024, n_out=512, k=32, mlp_dims=(3, 64, 64, 128)),
+    ModuleSpec("sa2", n_in=512, n_out=128, k=64, mlp_dims=(128, 128, 128, 256)),
+    ModuleSpec("sa3", n_in=128, n_out=1, k=128, mlp_dims=(256, 256, 512, 1024)),
+)
+
+_SEG_SPECS = (
+    ModuleSpec("sa1", n_in=2048, n_out=512, k=32, mlp_dims=(3, 64, 64, 128)),
+    ModuleSpec("sa2", n_in=512, n_out=128, k=64, mlp_dims=(128, 128, 128, 256)),
+    ModuleSpec("sa3", n_in=128, n_out=1, k=128, mlp_dims=(256, 256, 512, 1024)),
+)
+
+
+class PointNet2Classification(PointCloudNetwork):
+    """PointNet++ (c): hierarchical set abstraction + FC classifier."""
+
+    name = "PointNet++ (c)"
+    task = "classification"
+    dataset = "ModelNet40"
+    year = 2017
+    paper_n_points = 1024
+
+    def __init__(self, num_classes=40, scale=1.0, dropout=0.0, rng=None):
+        rng = rng or np.random.default_rng(0)
+        specs = [scale_spec(s, scale) for s in _CLS_SPECS]
+        modules = [PointCloudModule(s, rng=rng) for s in specs]
+        super().__init__(modules, rng=rng)
+        self.num_classes = num_classes
+        self.head = FCHead([1024, 512, 256, num_classes], dropout=dropout, rng=rng)
+
+    def _forward_body(self, coords, feats, strategy, trace):
+        _, feats = self._run_encoder(coords, feats, strategy, trace)
+        logits = self.head(feats)  # (1, num_classes)
+        if trace is not None:
+            self.head.emit_trace(trace, rows=1)
+        return logits
+
+    def _emit_trace(self, trace, strategy):
+        self._emit_encoder_trace(trace, strategy)
+        self.head.emit_trace(trace, rows=1)
+
+
+class PointNet2Segmentation(PointCloudNetwork):
+    """PointNet++ (s): encoder + feature-propagation decoder."""
+
+    name = "PointNet++ (s)"
+    task = "segmentation"
+    dataset = "ShapeNet"
+    year = 2017
+    paper_n_points = 2048
+
+    def __init__(self, num_classes=50, scale=1.0, rng=None):
+        rng = rng or np.random.default_rng(0)
+        specs = [scale_spec(s, scale) for s in _SEG_SPECS]
+        modules = [PointCloudModule(s, rng=rng) for s in specs]
+        super().__init__(modules, rng=rng)
+        self.num_classes = num_classes
+        n = [s.n_in for s in specs]  # (2048, 512, 128) at paper scale
+        # FP3 upsamples sa3 output onto sa2 centroids, etc. (skip concat).
+        self.fp3 = FeaturePropagation("fp3", n[2], (1024 + 256, 256, 256), rng=rng)
+        self.fp2 = FeaturePropagation("fp2", n[1], (256 + 128, 256, 128), rng=rng)
+        self.fp1 = FeaturePropagation("fp1", n[0], (128 + 3, 128, 128, 128), rng=rng)
+        self.head = FCHead([128, 128, num_classes], rng=rng)
+
+    def _forward_body(self, coords, feats, strategy, trace):
+        _, _, levels = self._run_encoder(
+            coords, feats, strategy, trace, keep_intermediates=True
+        )
+        (c0, f0), (c1, f1), (c2, f2), (c3, f3) = levels
+        up2 = self.fp3(c2, f2, c3, f3)
+        up1 = self.fp2(c1, f1, c2, up2)
+        up0 = self.fp1(c0, f0, c1, up1)
+        logits = self.head(up0)  # (n_points, num_classes)
+        if trace is not None:
+            self.fp3.emit_trace(trace, n_coarse=len(c3))
+            self.fp2.emit_trace(trace, n_coarse=len(c2))
+            self.fp1.emit_trace(trace, n_coarse=len(c1))
+            self.head.emit_trace(trace, rows=len(c0))
+        return logits
+
+    def _emit_trace(self, trace, strategy):
+        self._emit_encoder_trace(trace, strategy)
+        specs = [m.spec for m in self.encoder]
+        self.fp3.emit_trace(trace, n_coarse=specs[2].n_out)
+        self.fp2.emit_trace(trace, n_coarse=specs[1].n_out)
+        self.fp1.emit_trace(trace, n_coarse=specs[0].n_out)
+        self.head.emit_trace(trace, rows=specs[0].n_in)

@@ -1,0 +1,67 @@
+"""Network registry — Table I of the paper.
+
+Two groupings are provided: :data:`PROFILED_NETWORKS`, the five
+networks the characterization figures (4, 5, 9, 10, 12) profile, and
+:data:`ALL_NETWORKS`, the full seven-network evaluation set of §VII.
+"""
+
+from __future__ import annotations
+
+from .densepoint import DensePoint
+from .dgcnn import DGCNNClassification, DGCNNSegmentation
+from .fpointnet import FPointNet
+from .ldgcnn import LDGCNN
+from .pointnet2 import PointNet2Classification, PointNet2Segmentation
+
+__all__ = [
+    "NETWORK_CLASSES",
+    "PROFILED_NETWORKS",
+    "ALL_NETWORKS",
+    "build_network",
+    "table1_rows",
+]
+
+NETWORK_CLASSES = {
+    "PointNet++ (c)": PointNet2Classification,
+    "PointNet++ (s)": PointNet2Segmentation,
+    "DGCNN (c)": DGCNNClassification,
+    "DGCNN (s)": DGCNNSegmentation,
+    "F-PointNet": FPointNet,
+    "LDGCNN": LDGCNN,
+    "DensePoint": DensePoint,
+}
+
+#: The five networks characterized in §III (Figs 4, 5, 9, 10, 12).
+PROFILED_NETWORKS = (
+    "PointNet++ (c)",
+    "PointNet++ (s)",
+    "DGCNN (c)",
+    "DGCNN (s)",
+    "F-PointNet",
+)
+
+#: The full evaluation set of §VII (Figs 16-20).
+ALL_NETWORKS = PROFILED_NETWORKS + ("LDGCNN", "DensePoint")
+
+
+def build_network(name, **kwargs):
+    """Instantiate a benchmark network by its paper name."""
+    if name not in NETWORK_CLASSES:
+        raise KeyError(
+            f"unknown network {name!r}; available: {sorted(NETWORK_CLASSES)}"
+        )
+    return NETWORK_CLASSES[name](**kwargs)
+
+
+def table1_rows():
+    """Rows of Table I: (domain, algorithm, dataset, year)."""
+    rows = []
+    for name in ALL_NETWORKS:
+        cls = NETWORK_CLASSES[name]
+        domain = {
+            "classification": "Classification",
+            "segmentation": "Segmentation",
+            "detection": "Detection",
+        }[cls.task]
+        rows.append((domain, name, cls.dataset, cls.year))
+    return rows

@@ -1,0 +1,44 @@
+"""Numpy-based autograd DNN substrate (replaces the paper's TensorFlow)."""
+
+from .layers import (
+    BatchNorm,
+    Dropout,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+)
+from .losses import accuracy, cross_entropy, log_softmax, mse_loss
+from .mlp import SharedMLP
+from .optim import SGD, Adam
+from .schedulers import CosineLR, ExponentialLR, StepLR, clip_grad_norm
+from .serialization import load_checkpoint, save_checkpoint
+from .tensor import Tensor, concat, no_grad, stack
+
+__all__ = [
+    "Tensor",
+    "concat",
+    "stack",
+    "no_grad",
+    "Module",
+    "Parameter",
+    "Linear",
+    "ReLU",
+    "BatchNorm",
+    "Dropout",
+    "Sequential",
+    "SharedMLP",
+    "cross_entropy",
+    "mse_loss",
+    "log_softmax",
+    "accuracy",
+    "SGD",
+    "Adam",
+    "save_checkpoint",
+    "load_checkpoint",
+    "StepLR",
+    "ExponentialLR",
+    "CosineLR",
+    "clip_grad_norm",
+]

@@ -1,0 +1,37 @@
+"""Loss functions for training the paper's networks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["cross_entropy", "mse_loss", "log_softmax", "accuracy"]
+
+
+def log_softmax(logits):
+    """Numerically-stable log-softmax along the last axis."""
+    shifted = logits - Tensor(logits.data.max(axis=-1, keepdims=True))
+    return shifted - shifted.exp().sum(axis=-1, keepdims=True).log()
+
+
+def cross_entropy(logits, targets):
+    """Mean cross-entropy between (rows, classes) logits and int targets."""
+    targets = np.asarray(targets)
+    logp = log_softmax(logits)
+    rows = logp.shape[0]
+    picked = logp[(np.arange(rows), targets)]
+    return -picked.sum() * (1.0 / rows)
+
+
+def mse_loss(pred, target):
+    """Mean squared error (used by F-PointNet's box regression head)."""
+    target = pred._wrap(target)
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def accuracy(logits, targets):
+    """Fraction of rows whose arg-max class matches the target."""
+    data = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    return float((data.argmax(axis=-1) == np.asarray(targets)).mean())

@@ -1,0 +1,75 @@
+"""Shared MLPs — the feature-computation operator ``F`` of the paper.
+
+A shared MLP applies the same per-point stack of Linear (+ optional
+BatchNorm) + ReLU layers to every row of its input.  In the original
+formulation the rows are aggregated neighbor offsets (K rows per
+centroid); with delayed-aggregation the rows are the raw input points.
+The module itself is agnostic — that choice is made by the caller
+(:mod:`repro.core.module`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import BatchNorm, Linear, Module, ReLU, Sequential
+
+__all__ = ["SharedMLP"]
+
+
+class SharedMLP(Module):
+    """Stack of ``Linear -> [BatchNorm] -> ReLU`` layers.
+
+    Parameters
+    ----------
+    dims:
+        Layer widths including the input width, e.g. ``[3, 64, 64, 128]``
+        builds the first PointNet++ module's MLP from Fig 3.
+    batch_norm:
+        Insert a BatchNorm after every Linear.  Off by default because
+        batch norm perturbs the approximate distributivity that
+        delayed-aggregation relies on (§VII-B).
+    final_activation:
+        Apply the nonlinearity after the last layer too (the paper's
+        module MLPs do; regression heads typically do not).
+    """
+
+    def __init__(self, dims, batch_norm=False, final_activation=True, rng=None):
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError("SharedMLP needs at least input and output widths")
+        rng = rng or np.random.default_rng(0)
+        self.dims = list(dims)
+        self.batch_norm = batch_norm
+        layers = []
+        last = len(dims) - 2
+        for i, (a, b) in enumerate(zip(dims[:-1], dims[1:])):
+            layers.append(Linear(a, b, rng=rng))
+            if i < last or final_activation:
+                if batch_norm:
+                    layers.append(BatchNorm(b))
+                layers.append(ReLU())
+        self.net = Sequential(*layers)
+
+    @property
+    def in_dim(self):
+        return self.dims[0]
+
+    @property
+    def out_dim(self):
+        return self.dims[-1]
+
+    def forward(self, x):
+        return self.net(x)
+
+    def linear_layers(self):
+        """The Linear layers in order (used for the limited variant)."""
+        return [l for l in self.net if isinstance(l, Linear)]
+
+    def mac_count(self, rows):
+        """Multiply-accumulate operations to process ``rows`` input rows."""
+        return rows * sum(a * b for a, b in zip(self.dims[:-1], self.dims[1:]))
+
+    def layer_output_bytes(self, rows, bytes_per_element=4):
+        """Per-layer activation sizes in bytes (the Fig 10 quantity)."""
+        return [rows * d * bytes_per_element for d in self.dims[1:]]

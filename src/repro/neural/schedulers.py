@@ -1,0 +1,92 @@
+"""Learning-rate schedules and gradient utilities.
+
+The reference point cloud codebases train with exponentially-decayed
+learning rates (PointNet++) or cosine schedules (DensePoint); gradient
+clipping stabilizes the tiny-batch training the Fig 16 reproduction
+uses.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["StepLR", "CosineLR", "ExponentialLR", "clip_grad_norm"]
+
+
+class _Scheduler:
+    """Adjusts an optimizer's ``lr`` once per :meth:`step` call."""
+
+    def __init__(self, optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def get_lr(self, epoch):
+        raise NotImplementedError
+
+    def step(self):
+        self.epoch += 1
+        self.optimizer.lr = self.get_lr(self.epoch)
+        return self.optimizer.lr
+
+
+class StepLR(_Scheduler):
+    """Multiply the LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer, step_size, gamma=0.5):
+        super().__init__(optimizer)
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self, epoch):
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class ExponentialLR(_Scheduler):
+    """Multiply the LR by ``gamma`` every epoch (PointNet++'s decay)."""
+
+    def __init__(self, optimizer, gamma=0.95):
+        super().__init__(optimizer)
+        self.gamma = gamma
+
+    def get_lr(self, epoch):
+        return self.base_lr * self.gamma ** epoch
+
+
+class CosineLR(_Scheduler):
+    """Cosine annealing from the base LR to ``min_lr`` over ``total``."""
+
+    def __init__(self, optimizer, total, min_lr=0.0):
+        super().__init__(optimizer)
+        if total < 1:
+            raise ValueError("total must be >= 1")
+        self.total = total
+        self.min_lr = min_lr
+
+    def get_lr(self, epoch):
+        progress = min(epoch, self.total) / self.total
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * progress)
+        )
+
+
+def clip_grad_norm(params, max_norm):
+    """Scale gradients in place so their global L2 norm <= max_norm.
+
+    Returns the pre-clip norm.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    grads = [p.grad for p in params if p.grad is not None]
+    if not grads:
+        return 0.0
+    total = math.sqrt(sum(float((g * g).sum()) for g in grads))
+    if total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for g in grads:
+            g *= scale
+    return total

@@ -1,0 +1,45 @@
+"""Checkpoint serialization for trained networks.
+
+The Fig 16 experiments train fourteen model instances (seven networks,
+two strategies); checkpoints let examples and benchmarks reuse trained
+weights instead of retraining.  Format: a single ``.npz`` holding the
+flat ``state_dict`` plus a metadata channel.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_META_KEY = "__meta__"
+
+
+def save_checkpoint(path, module, metadata=None):
+    """Write ``module.state_dict()`` (plus optional JSON metadata) to
+    ``path`` as an .npz archive."""
+    state = module.state_dict()
+    if _META_KEY in state:
+        raise ValueError(f"parameter name {_META_KEY!r} is reserved")
+    payload = dict(state)
+    meta = json.dumps(metadata or {})
+    payload[_META_KEY] = np.frombuffer(meta.encode("utf-8"), dtype=np.uint8)
+    np.savez(path, **payload)
+
+
+def load_checkpoint(path, module=None):
+    """Read a checkpoint; optionally restore it into ``module``.
+
+    Returns ``(state_dict, metadata)``.
+    """
+    with np.load(path) as archive:
+        state = {k: archive[k] for k in archive.files if k != _META_KEY}
+        if _META_KEY in archive.files:
+            metadata = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+        else:
+            metadata = {}
+    if module is not None:
+        module.load_state_dict(state)
+    return state, metadata

@@ -1,0 +1,61 @@
+"""Operator tracing and workload analytics."""
+
+from .cnn_models import CNN_MODELS, CNNModel, ConvLayer, FCLayer
+from .report import characterization_report, format_table, full_report, soc_report
+from .roofline import NPU_ROOF, TX2_ROOF, DeviceRoof, RooflinePoint, analyze_trace
+from .cost_model import (
+    StrategyComparison,
+    compare_strategies,
+    gather_working_sets,
+    layer_size_stats,
+    mac_reduction_percent,
+    violin_summary,
+)
+from .trace import (
+    BYTES_PER_ELEMENT,
+    ConcatOp,
+    GatherOp,
+    InterpolateOp,
+    MatMulOp,
+    NeighborSearchOp,
+    Op,
+    PHASES,
+    ReduceMaxOp,
+    SampleOp,
+    SubtractOp,
+    Trace,
+)
+
+__all__ = [
+    "Trace",
+    "Op",
+    "NeighborSearchOp",
+    "GatherOp",
+    "SubtractOp",
+    "MatMulOp",
+    "ReduceMaxOp",
+    "SampleOp",
+    "ConcatOp",
+    "InterpolateOp",
+    "PHASES",
+    "BYTES_PER_ELEMENT",
+    "StrategyComparison",
+    "compare_strategies",
+    "mac_reduction_percent",
+    "layer_size_stats",
+    "violin_summary",
+    "gather_working_sets",
+    "CNN_MODELS",
+    "full_report",
+    "characterization_report",
+    "soc_report",
+    "format_table",
+    "DeviceRoof",
+    "RooflinePoint",
+    "analyze_trace",
+    "TX2_ROOF",
+    "NPU_ROOF",
+    "CNNModel",
+    "ConvLayer",
+    "FCLayer",
+]

@@ -1,0 +1,161 @@
+"""MAC-count models of the conventional CNNs in Fig 7.
+
+The paper compares the feature-computation MAC counts of point cloud
+networks (130K-point KITTI frames) against AlexNet, ResNet-50 and
+YOLOv2 at a similar input resolution ("nearly 130K pixels").  We model
+each CNN as its published layer table and count convolution /
+fully-connected MACs exactly; the input is rescaled so the pixel count
+matches the requested resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+__all__ = ["ConvLayer", "FCLayer", "CNNModel", "alexnet", "resnet50",
+           "yolov2", "CNN_MODELS"]
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """One convolution: MACs = out_h*out_w*out_c*in_c*k*k/groups."""
+
+    in_channels: int
+    out_channels: int
+    kernel: int
+    stride: int = 1
+    groups: int = 1
+    #: A parallel branch (e.g. a ResNet projection shortcut): its MACs
+    #: count, but it does not advance the sequential spatial size.
+    parallel: bool = False
+
+    def output_hw(self, in_hw):
+        return max(1, in_hw // self.stride)
+
+    def macs(self, in_hw):
+        out_hw = self.output_hw(in_hw)
+        return (
+            out_hw * out_hw * self.out_channels
+            * self.in_channels * self.kernel * self.kernel // self.groups
+        )
+
+
+@dataclass(frozen=True)
+class FCLayer:
+    in_features: int
+    out_features: int
+
+    def macs(self):
+        return self.in_features * self.out_features
+
+
+@dataclass
+class CNNModel:
+    """A CNN as an ordered layer list with a canonical input size."""
+
+    name: str
+    input_hw: int
+    convs: tuple
+    fcs: tuple = ()
+    #: spatial reductions between conv stages, as (#convs consumed, pool stride)
+    pools: tuple = ()
+
+    def conv_macs(self, input_hw=None):
+        hw = input_hw or self.input_hw
+        total = 0
+        pool_iter = list(self.pools)
+        for i, conv in enumerate(self.convs):
+            total += conv.macs(hw)
+            if not conv.parallel:
+                hw = conv.output_hw(hw)
+            while pool_iter and pool_iter[0][0] == i + 1:
+                hw = max(1, hw // pool_iter.pop(0)[1])
+        return total
+
+    def total_macs(self, input_hw=None):
+        return self.conv_macs(input_hw) + sum(fc.macs() for fc in self.fcs)
+
+    def macs_at_pixels(self, pixels):
+        """MACs with the input rescaled to roughly ``pixels`` pixels.
+
+        Convolution MACs scale linearly with input area; FC layers are
+        resolution-independent in the published models (global pooling
+        or fixed crops), so they are held constant.
+        """
+        hw = int(round(math.sqrt(pixels)))
+        scale = (hw * hw) / (self.input_hw * self.input_hw)
+        return int(self.conv_macs() * scale) + sum(fc.macs() for fc in self.fcs)
+
+
+def alexnet():
+    """AlexNet (224x224 canonical input, ~0.7 GMACs)."""
+    return CNNModel(
+        name="AlexNet",
+        input_hw=224,
+        convs=(
+            ConvLayer(3, 64, 11, stride=4),
+            ConvLayer(64, 192, 5),
+            ConvLayer(192, 384, 3),
+            ConvLayer(384, 256, 3),
+            ConvLayer(256, 256, 3),
+        ),
+        pools=((1, 2), (2, 2), (5, 2)),
+        fcs=(FCLayer(9216, 4096), FCLayer(4096, 4096), FCLayer(4096, 1000)),
+    )
+
+
+def _bottleneck(in_c, mid_c, out_c, stride=1):
+    return (
+        ConvLayer(in_c, mid_c, 1),
+        ConvLayer(mid_c, mid_c, 3, stride=stride),
+        ConvLayer(mid_c, out_c, 1),
+    )
+
+
+def resnet50():
+    """ResNet-50 (224x224, ~4.1 GMACs)."""
+    convs = [ConvLayer(3, 64, 7, stride=2)]
+    pools = [(1, 2)]
+    in_c = 64
+    stage_cfg = ((64, 256, 3, 1), (128, 512, 4, 2), (256, 1024, 6, 2),
+                 (512, 2048, 3, 2))
+    for mid, out, blocks, stride in stage_cfg:
+        for b in range(blocks):
+            s = stride if b == 0 else 1
+            # Projection shortcut (parallel branch) on the first block.
+            if b == 0:
+                convs.append(ConvLayer(in_c, out, 1, stride=s, parallel=True))
+            convs.extend(_bottleneck(in_c, mid, out, stride=s))
+            in_c = out
+    return CNNModel(
+        name="ResNet-50",
+        input_hw=224,
+        convs=tuple(convs),
+        pools=tuple(pools),
+        fcs=(FCLayer(2048, 1000),),
+    )
+
+
+def yolov2():
+    """YOLOv2 / Darknet-19 detection head (416x416, ~17 GMACs)."""
+    convs = (
+        ConvLayer(3, 32, 3),
+        ConvLayer(32, 64, 3),
+        ConvLayer(64, 128, 3), ConvLayer(128, 64, 1), ConvLayer(64, 128, 3),
+        ConvLayer(128, 256, 3), ConvLayer(256, 128, 1), ConvLayer(128, 256, 3),
+        ConvLayer(256, 512, 3), ConvLayer(512, 256, 1), ConvLayer(256, 512, 3),
+        ConvLayer(512, 256, 1), ConvLayer(256, 512, 3),
+        ConvLayer(512, 1024, 3), ConvLayer(1024, 512, 1),
+        ConvLayer(512, 1024, 3), ConvLayer(1024, 512, 1),
+        ConvLayer(512, 1024, 3),
+        # Detection head.
+        ConvLayer(1024, 1024, 3), ConvLayer(1024, 1024, 3),
+        ConvLayer(1280, 1024, 3), ConvLayer(1024, 425, 1),
+    )
+    pools = ((1, 2), (2, 2), (5, 2), (8, 2), (13, 2))
+    return CNNModel(name="YOLOv2", input_hw=416, convs=convs, pools=pools)
+
+
+CNN_MODELS = {"AlexNet": alexnet, "ResNet-50": resnet50, "YOLOv2": yolov2}

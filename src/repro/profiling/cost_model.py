@@ -1,0 +1,97 @@
+"""First-order cost analytics over operator traces (§IV-B).
+
+These functions compute the paper's algorithmic metrics — the ones that
+are properties of the workload itself rather than of any particular
+hardware: MAC counts and reductions (Fig 9), layer output (activation)
+size distributions (Fig 10), gather working sets (§IV-C), and
+neighborhood statistics (Fig 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .trace import GatherOp, MatMulOp, Trace
+
+__all__ = [
+    "StrategyComparison",
+    "compare_strategies",
+    "mac_reduction_percent",
+    "layer_size_stats",
+    "gather_working_sets",
+    "violin_summary",
+]
+
+
+@dataclass
+class StrategyComparison:
+    """Original-vs-delayed traces for one network."""
+
+    network: str
+    original: Trace
+    delayed: Trace
+
+    @property
+    def mac_reduction_percent(self):
+        orig = self.original.mlp_macs()
+        if orig == 0:
+            return 0.0
+        return 100.0 * (1.0 - self.delayed.mlp_macs() / orig)
+
+    @property
+    def max_layer_output_original(self):
+        return max(self.original.layer_output_sizes())
+
+    @property
+    def max_layer_output_delayed(self):
+        return max(self.delayed.layer_output_sizes())
+
+
+def compare_strategies(network):
+    """Trace a network under both strategies."""
+    return StrategyComparison(
+        network.name, network.trace("original"), network.trace("delayed")
+    )
+
+
+def mac_reduction_percent(network):
+    """Fig 9 quantity for one network."""
+    return compare_strategies(network).mac_reduction_percent
+
+
+def layer_size_stats(trace):
+    """Fig 10 summary of one trace's F-phase layer outputs (bytes)."""
+    sizes = np.array(trace.layer_output_sizes(), dtype=np.float64)
+    if len(sizes) == 0:
+        raise ValueError("trace contains no F-phase matmul layers")
+    return {
+        "min": float(sizes.min()),
+        "max": float(sizes.max()),
+        "median": float(np.median(sizes)),
+        "mean": float(sizes.mean()),
+        "sizes": sizes,
+    }
+
+
+def violin_summary(traces):
+    """Aggregate layer output sizes over several traces (Fig 10 violin)."""
+    sizes = np.concatenate([t.layer_output_sizes() for t in traces]).astype(float)
+    return layer_size_stats_from_sizes(sizes)
+
+
+def layer_size_stats_from_sizes(sizes):
+    sizes = np.asarray(sizes, dtype=np.float64)
+    return {
+        "min": float(sizes.min()),
+        "max": float(sizes.max()),
+        "median": float(np.median(sizes)),
+        "mean": float(sizes.mean()),
+        "sizes": sizes,
+    }
+
+
+def gather_working_sets(trace):
+    """Bytes of each gather's source table (§IV-C working-set growth)."""
+    return [op.table_bytes for op in trace.by_type(GatherOp)]

@@ -1,0 +1,88 @@
+"""Roofline analysis of operator traces.
+
+Classifies every op by arithmetic intensity (FLOPs per DRAM byte)
+against a device's compute roof and memory bandwidth — the standard
+lens for the paper's §III claims: the original algorithm's MLPs are
+dragged memory-bound by their bloated activations, while
+delayed-aggregation's smaller working sets restore compute-boundedness,
+and the gather is hopelessly memory-bound on any device (hence the AU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceRoof", "RooflinePoint", "analyze_trace", "TX2_ROOF",
+           "NPU_ROOF"]
+
+
+@dataclass(frozen=True)
+class DeviceRoof:
+    """A device's peak compute (FLOP/s) and memory bandwidth (B/s)."""
+
+    name: str
+    peak_flops: float
+    peak_bandwidth: float
+
+    @property
+    def ridge_intensity(self):
+        """FLOPs/byte above which a kernel can be compute-bound."""
+        return self.peak_flops / self.peak_bandwidth
+
+    def attainable_flops(self, intensity):
+        """The roofline itself: min(peak, intensity * bandwidth)."""
+        if intensity < 0:
+            raise ValueError("intensity must be non-negative")
+        return min(self.peak_flops, intensity * self.peak_bandwidth)
+
+
+#: Mobile Pascal on TX2: ~750 GFLOPS fp32, ~25.6 GB/s LPDDR.
+TX2_ROOF = DeviceRoof("TX2 GPU", 750e9, 25.6e9)
+#: The 16x16 systolic NPU at 1 GHz: 512 MAC/cycle = 1 TFLOP/s.
+NPU_ROOF = DeviceRoof("Mesorasi NPU", 1.024e12, 25.6e9)
+
+
+@dataclass
+class RooflinePoint:
+    """One operator placed on the roofline."""
+
+    op_type: str
+    phase: str
+    flops: int
+    bytes_moved: int
+
+    @property
+    def intensity(self):
+        if self.bytes_moved == 0:
+            return float("inf")
+        return self.flops / self.bytes_moved
+
+    def bound(self, roof):
+        """"compute" or "memory" on the given device."""
+        return "compute" if self.intensity >= roof.ridge_intensity \
+            else "memory"
+
+
+def analyze_trace(trace, roof=TX2_ROOF):
+    """Roofline points plus a summary for one trace.
+
+    Returns (points, summary) where summary maps bound-kind to the
+    fraction of total FLOPs executed under it.
+    """
+    points = []
+    flops_by_bound = {"compute": 0, "memory": 0}
+    for op in trace:
+        p = RooflinePoint(
+            op_type=type(op).__name__,
+            phase=op.phase,
+            flops=op.flops,
+            bytes_moved=op.bytes_read + op.bytes_written,
+        )
+        points.append(p)
+        flops_by_bound[p.bound(roof)] += p.flops
+    total = sum(flops_by_bound.values())
+    summary = {
+        kind: (value / total if total else 0.0)
+        for kind, value in flops_by_bound.items()
+    }
+    return points, summary

@@ -1,0 +1,222 @@
+"""Tests for the extension modules: uniform-grid search, approximate
+aggregation (the paper's future-work item), checkpointing, the report
+generator and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.hw import (
+    AggregationUnit,
+    ApproximateAggregationUnit,
+    dropped_neighbor_error,
+)
+from repro.neighbors import KDTree, UniformGrid, knn_brute_force
+from repro.neural import SharedMLP, load_checkpoint, save_checkpoint
+
+
+def cloud(n=200, seed=0):
+    return np.random.default_rng(seed).normal(size=(n, 3))
+
+
+class TestUniformGrid:
+    def test_radius_matches_naive(self):
+        pts = cloud(300, seed=1)
+        grid = UniformGrid(pts, cell_size=0.5)
+        q = pts[0]
+        hits = grid.query_radius(q, 0.8)
+        naive = np.nonzero(np.sqrt(((pts - q) ** 2).sum(1)) <= 0.8)[0]
+        np.testing.assert_array_equal(np.sort(hits), naive)
+
+    def test_knn_matches_brute_force(self):
+        pts = cloud(256, seed=2)
+        grid = UniformGrid(pts, cell_size=0.4)
+        for qi in (0, 10, 100):
+            g_idx, g_dist = grid.query(pts[qi], k=5)
+            _, b_dist = knn_brute_force(pts, pts[qi:qi + 1], 5)
+            np.testing.assert_allclose(np.sort(g_dist), b_dist[0], atol=1e-9)
+
+    def test_knn_agrees_with_kdtree(self):
+        pts = cloud(128, seed=3)
+        grid = UniformGrid(pts, cell_size=0.7)
+        tree = KDTree(pts)
+        g_idx, g_dist = grid.query(pts[7], k=4)
+        t_idx, t_dist = tree.query(pts[7], k=4)
+        np.testing.assert_allclose(g_dist, t_dist, atol=1e-9)
+
+    def test_occupancy_sums_to_n(self):
+        pts = cloud(100, seed=4)
+        grid = UniformGrid(pts, cell_size=1.0)
+        assert grid.occupancy().sum() == 100
+        assert grid.n_cells == len(grid.occupancy())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformGrid(np.zeros((0, 3)), 1.0)
+        with pytest.raises(ValueError):
+            UniformGrid(cloud(10), 0.0)
+        with pytest.raises(ValueError):
+            UniformGrid(cloud(10), 1.0).query(np.zeros(3), k=11)
+        with pytest.raises(ValueError):
+            UniformGrid(cloud(10), 1.0).query_radius(np.zeros(3), -1)
+
+    def test_far_query(self):
+        pts = cloud(64, seed=5)
+        grid = UniformGrid(pts, cell_size=0.5)
+        idx, dist = grid.query(np.array([50.0, 50.0, 50.0]), k=3)
+        _, b_dist = knn_brute_force(pts, np.array([[50.0, 50.0, 50.0]]), 3)
+        np.testing.assert_allclose(dist, b_dist[0], atol=1e-9)
+
+
+class TestApproximateAggregation:
+    def setup_method(self):
+        self.rng = np.random.default_rng(0)
+        self.nit = self.rng.integers(0, 1024, size=(128, 32))
+
+    def test_exact_mode_drops_nothing(self):
+        au = ApproximateAggregationUnit(max_rounds=None)
+        r = au.process_approximate(self.nit, 64, 1024)
+        assert r.dropped_fraction == 0.0
+        assert r.kept_mask.all()
+        assert r.cycles == r.exact_cycles
+
+    def test_bounded_rounds_drop_and_speed_up(self):
+        au = ApproximateAggregationUnit(max_rounds=1)
+        r = au.process_approximate(self.nit, 64, 1024)
+        assert r.dropped_fraction > 0.0
+        assert r.speedup_vs_exact > 1.0
+
+    def test_more_rounds_fewer_drops(self):
+        drops = []
+        for rounds in (1, 2, 4):
+            au = ApproximateAggregationUnit(max_rounds=rounds)
+            drops.append(
+                au.process_approximate(self.nit, 64, 1024).dropped_fraction
+            )
+        assert drops[0] >= drops[1] >= drops[2]
+
+    def test_round_zero_always_serves_each_bank(self):
+        au = ApproximateAggregationUnit(max_rounds=1)
+        r = au.process_approximate(self.nit, 64, 1024)
+        # Every entry keeps at least one neighbor per occupied bank.
+        assert r.kept_mask.any(axis=1).all()
+
+    def test_functional_error_bounded(self):
+        au = ApproximateAggregationUnit(max_rounds=2)
+        r = au.process_approximate(self.nit, 64, 1024)
+        pft = self.rng.normal(size=(1024, 64))
+        err = dropped_neighbor_error(pft, self.nit, r.kept_mask)
+        exact_err = dropped_neighbor_error(
+            pft, self.nit, np.ones_like(r.kept_mask, dtype=bool)
+        )
+        assert exact_err == 0.0
+        assert 0.0 < err < 1.0  # approximate but in the right regime
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ApproximateAggregationUnit(max_rounds=0)
+        au = ApproximateAggregationUnit()
+        with pytest.raises(ValueError):
+            au.process_approximate(np.zeros(3, dtype=int), 8, 16)
+
+    def test_inherits_exact_interface(self):
+        au = ApproximateAggregationUnit(max_rounds=2)
+        assert isinstance(au, AggregationUnit)
+        exact = au.process(self.nit, 64, 1024)  # exact path still works
+        assert exact.cycles > 0
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        a = SharedMLP([3, 16, 8], rng=np.random.default_rng(0))
+        b = SharedMLP([3, 16, 8], rng=np.random.default_rng(9))
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, a, metadata={"strategy": "delayed", "epoch": 3})
+        state, meta = load_checkpoint(path, module=b)
+        assert meta == {"strategy": "delayed", "epoch": 3}
+        from repro.neural import Tensor
+
+        x = Tensor(np.random.default_rng(1).normal(size=(4, 3)))
+        np.testing.assert_allclose(a(x).data, b(x).data)
+
+    def test_load_without_module(self, tmp_path):
+        mlp = SharedMLP([2, 4], rng=np.random.default_rng(0))
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, mlp)
+        state, meta = load_checkpoint(path)
+        assert meta == {}
+        assert len(state) == len(mlp.state_dict())
+
+    def test_shape_mismatch_raises(self, tmp_path):
+        a = SharedMLP([3, 16, 8])
+        b = SharedMLP([3, 8, 8])
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, a)
+        with pytest.raises((ValueError, KeyError)):
+            load_checkpoint(path, module=b)
+
+
+class TestReport:
+    def test_format_table(self):
+        from repro.profiling import format_table
+
+        text = format_table("T", ["a", "bb"], [(1, 2), (33, 4)])
+        lines = text.splitlines()
+        assert lines[0] == "== T =="
+        assert "33" in lines[3]
+
+    def test_characterization_report_contains_networks(self):
+        from repro.profiling import characterization_report
+
+        text = characterization_report(networks=("PointNet++ (c)",))
+        assert "PointNet++ (c)" in text
+        assert "Reduction" in text
+
+    def test_soc_report_contains_geomean(self):
+        from repro.profiling import soc_report
+
+        text = soc_report(networks=("PointNet++ (c)",))
+        assert "GEOMEAN" in text
+        assert "Mesorasi-HW" in text
+
+
+class TestCLI:
+    def test_networks_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["networks"]) == 0
+        out = capsys.readouterr().out
+        assert "F-PointNet" in out
+
+    def test_trace_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["trace", "PointNet++ (c)", "--strategy", "delayed"]) == 0
+        out = capsys.readouterr().out
+        assert "NeighborSearchOp" in out
+        assert "MLP MACs" in out
+
+    def test_simulate_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["simulate", "PointNet++ (c)", "--config",
+                     "mesorasi_hw"]) == 0
+        out = capsys.readouterr().out
+        assert "latency" in out
+        assert "AU sa1" in out
+
+    def test_unknown_command_exits(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestCLIReport:
+    def test_report_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "GPU characterization" in out
+        assert "SoC evaluation" in out
+        assert "GEOMEAN" in out

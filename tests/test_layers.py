@@ -1,0 +1,242 @@
+"""Unit tests for layers, shared MLP, losses and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.neural import (
+    Adam,
+    BatchNorm,
+    Dropout,
+    Linear,
+    Module,
+    ReLU,
+    SGD,
+    Sequential,
+    SharedMLP,
+    Tensor,
+    accuracy,
+    cross_entropy,
+    log_softmax,
+    mse_loss,
+)
+
+
+class TestLinear:
+    def test_shapes(self):
+        layer = Linear(3, 8)
+        out = layer(Tensor(np.zeros((5, 3))))
+        assert out.shape == (5, 8)
+
+    def test_bias_optional(self):
+        layer = Linear(3, 4, bias=False)
+        assert layer.bias is None
+        out = layer(Tensor(np.zeros((2, 3))))
+        np.testing.assert_allclose(out.data, 0.0)
+
+    def test_parameters_discovered(self):
+        layer = Linear(3, 4)
+        assert len(layer.parameters()) == 2
+
+    def test_gradients_reach_weights(self):
+        layer = Linear(2, 2)
+        out = layer(Tensor(np.ones((3, 2))))
+        (out * out).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestBatchNorm:
+    def test_normalizes_in_training(self):
+        bn = BatchNorm(4)
+        x = Tensor(np.random.default_rng(0).normal(3.0, 2.0, size=(256, 4)))
+        out = bn(x)
+        assert abs(out.data.mean()) < 1e-6
+        assert abs(out.data.std() - 1.0) < 1e-2
+
+    def test_eval_uses_running_stats(self):
+        bn = BatchNorm(2, momentum=0.0)  # running stats = last batch
+        x = Tensor(np.random.default_rng(1).normal(5.0, 3.0, size=(128, 2)))
+        bn(x)
+        bn.eval()
+        out = bn(x)
+        assert abs(out.data.mean()) < 0.1
+
+    def test_trainable_affine(self):
+        bn = BatchNorm(3)
+        assert len(bn.parameters()) == 2
+
+
+class TestDropout:
+    def test_identity_in_eval(self):
+        d = Dropout(0.5)
+        d.eval()
+        x = Tensor(np.ones((4, 4)))
+        np.testing.assert_allclose(d(x).data, 1.0)
+
+    def test_scales_in_train(self):
+        d = Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((2000, 10)))
+        out = d(x).data
+        assert set(np.unique(out)) == {0.0, 2.0}
+        assert abs(out.mean() - 1.0) < 0.05
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestModuleProtocol:
+    def test_state_dict_roundtrip(self):
+        a = SharedMLP([3, 8, 4], rng=np.random.default_rng(0))
+        b = SharedMLP([3, 8, 4], rng=np.random.default_rng(99))
+        b.load_state_dict(a.state_dict())
+        x = Tensor(np.random.default_rng(2).normal(size=(5, 3)))
+        np.testing.assert_allclose(a(x).data, b(x).data)
+
+    def test_load_state_dict_shape_mismatch(self):
+        a = SharedMLP([3, 8, 4])
+        b = SharedMLP([3, 9, 4])
+        with pytest.raises((ValueError, KeyError)):
+            b.load_state_dict(a.state_dict())
+
+    def test_train_eval_propagates(self):
+        net = Sequential(Linear(2, 2), Dropout(0.5))
+        net.eval()
+        assert all(not m.training for m in net.modules())
+
+    def test_zero_grad(self):
+        layer = Linear(2, 2)
+        layer(Tensor(np.ones((1, 2)))).sum().backward()
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+
+class TestSharedMLP:
+    def test_row_sharing(self):
+        # The same MLP applied per row: duplicating a row duplicates output.
+        mlp = SharedMLP([3, 16, 8])
+        row = np.random.default_rng(0).normal(size=(1, 3))
+        x = Tensor(np.vstack([row, row]))
+        out = mlp(x).data
+        np.testing.assert_allclose(out[0], out[1])
+
+    def test_mac_count(self):
+        mlp = SharedMLP([3, 64, 64, 128])
+        per_row = 3 * 64 + 64 * 64 + 64 * 128
+        assert mlp.mac_count(10) == 10 * per_row
+
+    def test_layer_output_bytes(self):
+        mlp = SharedMLP([3, 64, 128])
+        assert mlp.layer_output_bytes(100) == [100 * 64 * 4, 100 * 128 * 4]
+
+    def test_needs_two_dims(self):
+        with pytest.raises(ValueError):
+            SharedMLP([3])
+
+    def test_final_activation_off_allows_negative(self):
+        mlp = SharedMLP([2, 4, 2], final_activation=False)
+        out = mlp(Tensor(np.random.default_rng(3).normal(size=(50, 2))))
+        assert out.data.min() < 0
+
+    def test_final_activation_on_nonnegative(self):
+        mlp = SharedMLP([2, 4, 2], final_activation=True)
+        out = mlp(Tensor(np.random.default_rng(3).normal(size=(50, 2))))
+        assert out.data.min() >= 0
+
+    def test_batch_norm_layers_present(self):
+        mlp = SharedMLP([3, 8, 4], batch_norm=True)
+        # 2 Linear * (weight+bias) + 2 BatchNorm * (gamma+beta) = 8
+        assert len(mlp.parameters()) == 8
+
+    def test_linear_layers_helper(self):
+        mlp = SharedMLP([3, 8, 4])
+        layers = mlp.linear_layers()
+        assert [l.in_dim for l in layers] == [3, 8]
+
+
+class TestLosses:
+    def test_log_softmax_normalizes(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(6, 5)))
+        p = np.exp(log_softmax(logits).data)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, rtol=1e-9)
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = Tensor(np.array([[100.0, 0.0], [0.0, 100.0]]))
+        loss = cross_entropy(logits, [0, 1])
+        assert loss.item() < 1e-6
+
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((4, 10)))
+        loss = cross_entropy(logits, [0, 1, 2, 3])
+        np.testing.assert_allclose(loss.item(), np.log(10), rtol=1e-9)
+
+    def test_cross_entropy_gradient_direction(self):
+        logits = Tensor(np.zeros((1, 3)), requires_grad=True)
+        cross_entropy(logits, [1]).backward()
+        assert logits.grad[0, 1] < 0  # push target logit up
+        assert logits.grad[0, 0] > 0
+
+    def test_mse(self):
+        loss = mse_loss(Tensor([[1.0, 2.0]]), np.array([[0.0, 0.0]]))
+        np.testing.assert_allclose(loss.item(), 2.5)
+
+    def test_accuracy(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        assert accuracy(Tensor(logits), [0, 1, 1]) == pytest.approx(2 / 3)
+
+
+class TestOptimizers:
+    def _quadratic_steps(self, make_opt, steps=200):
+        from repro.neural.layers import Parameter
+
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = make_opt([p])
+        for _ in range(steps):
+            opt.zero_grad()
+            loss = (Tensor(p.data * 0) + p * p).sum()
+            loss = (p * p).sum()
+            loss.backward()
+            opt.step()
+        return p.data
+
+    def test_sgd_converges(self):
+        final = self._quadratic_steps(lambda ps: SGD(ps, lr=0.1))
+        assert np.abs(final).max() < 1e-6
+
+    def test_sgd_momentum_converges(self):
+        final = self._quadratic_steps(lambda ps: SGD(ps, lr=0.05, momentum=0.9))
+        assert np.abs(final).max() < 1e-4
+
+    def test_adam_converges(self):
+        final = self._quadratic_steps(lambda ps: Adam(ps, lr=0.1))
+        assert np.abs(final).max() < 1e-3
+
+    def test_weight_decay_shrinks(self):
+        from repro.neural.layers import Parameter
+
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.array([0.0])
+        opt.step()
+        assert p.data[0] == pytest.approx(0.9)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_training_reduces_loss_on_toy_task(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(128, 2))
+        y = (x[:, 0] * x[:, 1] > 0).astype(int)
+        net = SharedMLP([2, 32, 2], final_activation=False, rng=rng)
+        opt = Adam(net.parameters(), lr=0.01)
+        first = None
+        for _ in range(60):
+            opt.zero_grad()
+            loss = cross_entropy(net(Tensor(x)), y)
+            if first is None:
+                first = loss.item()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first * 0.5
+        assert accuracy(net(Tensor(x)), y) > 0.85

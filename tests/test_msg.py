@@ -1,0 +1,101 @@
+"""Tests for multi-scale grouping (PointNet++ MSG)."""
+
+import numpy as np
+import pytest
+
+from repro.core.msg import MultiScaleModule, MultiScaleSpec
+from repro.neural import Tensor
+from repro.profiling.trace import NeighborSearchOp, Trace
+
+SPEC = MultiScaleSpec(
+    "msg1", n_in=64, n_out=16,
+    scales=[(4, (3, 8)), (8, (3, 16)), (16, (3, 32))],
+)
+
+
+def make_cloud(n=64, seed=0):
+    coords = np.random.default_rng(seed).normal(size=(n, 3))
+    return coords, Tensor(coords.copy())
+
+
+class TestMultiScaleSpec:
+    def test_out_dim_is_concat(self):
+        assert SPEC.out_dim == 8 + 16 + 32
+
+    def test_branch_names(self):
+        assert [b.name for b in SPEC.branches] == \
+            ["msg1/s0", "msg1/s1", "msg1/s2"]
+
+    def test_requires_scales(self):
+        with pytest.raises(ValueError):
+            MultiScaleSpec("m", 16, 8, scales=[])
+
+    def test_requires_shared_input_width(self):
+        with pytest.raises(ValueError):
+            MultiScaleSpec("m", 16, 8, scales=[(4, (3, 8)), (4, (5, 8))])
+
+
+class TestMultiScaleModule:
+    def test_forward_shapes(self):
+        coords, feats = make_cloud()
+        out = MultiScaleModule(SPEC)(coords, feats, strategy="delayed")
+        assert out.features.shape == (16, 56)
+        assert out.coords.shape == (16, 3)
+        # The reported NIT is the widest scale's (AU stress case).
+        assert out.nit.k == 16
+
+    def test_branches_share_centroids(self):
+        coords, feats = make_cloud(seed=1)
+        module = MultiScaleModule(SPEC)
+        out = module(coords, feats, strategy="delayed")
+        # Output coords are the same strided subset each branch saw.
+        expected = coords[np.linspace(0, 63, 16).astype(int)]
+        np.testing.assert_allclose(out.coords, expected)
+
+    def test_all_strategies(self):
+        coords, feats = make_cloud(seed=2)
+        module = MultiScaleModule(SPEC)
+        for strategy in ("original", "delayed", "limited"):
+            out = module(coords, feats, strategy=strategy)
+            assert np.isfinite(out.features.data).all()
+
+    def test_bad_strategy(self):
+        coords, feats = make_cloud()
+        with pytest.raises(ValueError):
+            MultiScaleModule(SPEC)(coords, feats, strategy="eager")
+
+    def test_gradients_flow_all_branches(self):
+        coords, feats = make_cloud(seed=3)
+        module = MultiScaleModule(SPEC)
+        out = module(coords, feats, strategy="delayed")
+        (out.features * out.features).sum().backward()
+        assert all(p.grad is not None for p in module.parameters())
+        assert len(module.parameters()) == sum(
+            len(b.parameters()) for b in module.branches
+        )
+
+    def test_trace_has_one_search_per_scale(self):
+        t = Trace()
+        MultiScaleModule(SPEC).emit_trace(t, "delayed")
+        searches = t.by_type(NeighborSearchOp)
+        assert [op.k for op in searches] == [4, 8, 16]
+
+    def test_delayed_reduces_macs(self):
+        orig, delayed = Trace(), Trace()
+        module = MultiScaleModule(SPEC)
+        module.emit_trace(orig, "original")
+        module.emit_trace(delayed, "delayed")
+        assert delayed.mlp_macs() < orig.mlp_macs()
+
+    def test_explicit_centroids_respected(self):
+        coords, feats = make_cloud(seed=4)
+        branch = MultiScaleModule(SPEC).branches[0]
+        chosen = np.arange(16) * 2
+        out = branch(coords, feats, strategy="delayed", centroid_idx=chosen)
+        np.testing.assert_allclose(out.coords, coords[chosen])
+
+    def test_wrong_centroid_count_rejected(self):
+        coords, feats = make_cloud(seed=5)
+        branch = MultiScaleModule(SPEC).branches[0]
+        with pytest.raises(ValueError):
+            branch(coords, feats, centroid_idx=np.arange(5))

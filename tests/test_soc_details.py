@@ -1,0 +1,144 @@
+"""Detailed accounting tests for the SoC composition layer."""
+
+import numpy as np
+import pytest
+
+from repro.core import ModuleSpec
+from repro.hw import (
+    CONFIGS,
+    MobileGPU,
+    NeighborSearchEngine,
+    SoC,
+    SoCConfig,
+    SystolicNPU,
+    synthetic_nit,
+)
+from repro.networks import build_network
+from repro.profiling.trace import MatMulOp, NeighborSearchOp, Trace
+
+
+@pytest.fixture(scope="module")
+def net():
+    return build_network("PointNet++ (c)")
+
+
+class TestPhaseAccounting:
+    def test_energy_split_covers_all_phases(self, net):
+        soc = SoC()
+        r = soc.simulate(net, "mesorasi_hw")
+        assert all(r.phase_energy[p] >= 0 for p in "NAFO")
+        assert r.energy >= sum(r.phase_energy.values())  # + DRAM term
+
+    def test_latency_at_most_sum_of_phases(self, net):
+        soc = SoC()
+        r = soc.simulate(net, "mesorasi_hw")
+        assert r.latency <= sum(r.phase_times.values()) + 1e-12
+
+    def test_serial_config_latency_is_sum(self, net):
+        soc = SoC()
+        r = soc.simulate(net, "baseline")
+        assert r.latency == pytest.approx(sum(r.phase_times.values()))
+
+    def test_overlap_saves_latency(self, net):
+        soc = SoC()
+        overlap = soc.simulate(net, "mesorasi_sw")
+        serial_cfg = SoCConfig("serial", strategy="delayed", use_npu=True,
+                               overlap=False)
+        serial = soc.simulate(net, serial_cfg)
+        assert overlap.latency <= serial.latency
+        # Phase totals are identical; only the composition differs.
+        for p in "NAFO":
+            assert overlap.phase_times[p] == pytest.approx(
+                serial.phase_times[p]
+            )
+
+
+class TestEngineSubstitution:
+    def test_custom_gpu(self, net):
+        fast = SoC(gpu=MobileGPU(matmul_macs_per_s=460e9))
+        slow = SoC(gpu=MobileGPU(matmul_macs_per_s=4.6e9))
+        assert fast.simulate(net, "gpu").latency < \
+            slow.simulate(net, "gpu").latency
+
+    def test_custom_nse_speedup(self, net):
+        weak = SoC(nse=NeighborSearchEngine(speedup_over_gpu=2.0))
+        strong = SoC(nse=NeighborSearchEngine(speedup_over_gpu=600.0))
+        w = weak.simulate(net, "baseline_nse")
+        s = strong.simulate(net, "baseline_nse")
+        assert s.phase_times["N"] < w.phase_times["N"]
+
+    def test_custom_npu_array(self, net):
+        small = SoC(npu=SystolicNPU(array_dim=4))
+        large = SoC(npu=SystolicNPU(array_dim=64))
+        assert large.simulate(net, "baseline").phase_times["F"] < \
+            small.simulate(net, "baseline").phase_times["F"]
+
+
+class TestSyntheticNIT:
+    def test_shape_follows_spec(self):
+        spec = ModuleSpec("m", 256, 64, 12, (3, 8))
+        nit = synthetic_nit(spec)
+        assert nit.shape == (64, 12)
+        assert nit.max() < 256
+
+    def test_cached(self):
+        spec = ModuleSpec("m", 256, 64, 12, (3, 8))
+        assert synthetic_nit(spec) is synthetic_nit(spec)
+
+    def test_full_coverage_when_no_downsampling(self):
+        spec = ModuleSpec("m", 64, 64, 4, (3, 8))
+        nit = synthetic_nit(spec)
+        assert nit.shape == (64, 4)
+        # Every centroid's nearest neighbor set includes itself.
+        assert (nit == np.arange(64)[:, None]).any(axis=1).all()
+
+
+class TestGPUOverlapBranches:
+    def _trace(self, n_time_heavy):
+        t = Trace()
+        # One parallelizable search and one parallelizable matmul.
+        t.add(NeighborSearchOp("N", "m", parallelizable=True,
+                               n_queries=4096 if n_time_heavy else 16,
+                               n_points=4096, k=8, dim=3))
+        t.add(MatMulOp("F", "m", parallelizable=True,
+                       rows=16 if n_time_heavy else 200000,
+                       in_dim=64, out_dim=64))
+        return t
+
+    def test_n_heavy_hides_f(self):
+        gpu = MobileGPU(concurrent_kernels=True)
+        r = gpu.run(self._trace(n_time_heavy=True))
+        assert r.phase_times["N"] > 0
+        assert r.phase_times["F"] == 0.0
+
+    def test_f_heavy_hides_n(self):
+        gpu = MobileGPU(concurrent_kernels=True)
+        r = gpu.run(self._trace(n_time_heavy=False))
+        assert r.phase_times["F"] > 0
+        assert r.phase_times["N"] == 0.0
+
+    def test_energy_counts_both_branches(self):
+        serial = MobileGPU(concurrent_kernels=False)
+        overlap = MobileGPU(concurrent_kernels=True)
+        t = self._trace(n_time_heavy=True)
+        # Overlap hides latency but not energy.
+        assert overlap.run(t).energy == pytest.approx(serial.run(t).energy)
+
+
+class TestConfigRegistry:
+    def test_all_configs_simulate(self, net):
+        soc = SoC()
+        for name in CONFIGS:
+            r = soc.simulate(net, name)
+            assert r.latency > 0 and r.energy > 0, name
+
+    def test_au_only_with_use_au(self, net):
+        soc = SoC()
+        assert soc.simulate(net, "mesorasi_sw").au_stats == []
+        assert len(soc.simulate(net, "mesorasi_hw").au_stats) > 0
+
+    def test_nse_reduces_n_energy(self, net):
+        soc = SoC()
+        plain = soc.simulate(net, "baseline")
+        nse = soc.simulate(net, "baseline_nse")
+        assert nse.phase_energy["N"] < plain.phase_energy["N"]
