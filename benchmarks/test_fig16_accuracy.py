@@ -11,7 +11,6 @@ the tiny training sets and is reported for transparency only.
 """
 
 import numpy as np
-import pytest
 from conftest import print_table
 
 from repro.data import SyntheticFrustum, SyntheticModelNet, SyntheticShapeNet

@@ -6,12 +6,11 @@ which re-reads the whole NIT; growing them trades area for a small
 energy win.  The nominal 64 KB / 12 KB point balances the two.
 """
 
-import numpy as np
 from conftest import print_table
 
 from repro.hw import AggregationUnit, SRAM
-from repro.networks import build_network
 from repro.hw.soc import synthetic_nit
+from repro.networks import build_network
 
 PFT_SIZES = (8, 16, 32, 64, 128, 256)
 NIT_SIZES = (3, 6, 12, 24, 48, 96)

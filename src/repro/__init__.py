@@ -12,15 +12,17 @@ Public subpackages:
 * :mod:`repro.data` — synthetic datasets and metrics
 * :mod:`repro.profiling` — operator traces and workload analytics
 * :mod:`repro.hw` — GPU/NPU/AU/DRAM/NSE/SoC hardware models
+* :mod:`repro.engine` — batched multi-cloud serving engine
 """
 
 __version__ = "1.0.0"
 
-from . import core, data, hw, neighbors, networks, neural, profiling
+from . import core, data, engine, hw, neighbors, networks, neural, profiling
 
 __all__ = [
     "core",
     "data",
+    "engine",
     "hw",
     "neighbors",
     "networks",

@@ -12,6 +12,8 @@ networks
     List the benchmark networks (Table I).
 train [--network N] [--strategy S] [--epochs E]
     Train a scaled-down classifier on the synthetic dataset.
+bench [--batch B] [--n-points N] [--output PATH]
+    Benchmark the batched inference engine and write BENCH_engine.json.
 """
 
 from __future__ import annotations
@@ -59,7 +61,7 @@ def _cmd_trace(args):
 
 
 def _cmd_simulate(args):
-    from .hw import CONFIGS, SoC
+    from .hw import SoC
     from .networks import build_network
 
     soc = SoC()
@@ -98,6 +100,45 @@ def _cmd_train(args):
     return 0
 
 
+def _cmd_bench(args):
+    from .engine import run_benchmarks, write_json
+
+    results = run_benchmarks(
+        batch=args.batch,
+        n_points=args.n_points,
+        k=args.k,
+        network=args.network,
+        scale=args.scale,
+        strategy=args.strategy,
+        repeats=args.repeats,
+        quick=args.quick,
+    )
+    knn = results["knn"]
+    ball = results["ball"]
+    forward = results["forward"]
+    par = results["parallel"]
+    print(f"engine bench ({knn['cpu_count']} cpu(s), "
+          f"B={knn['workload']['batch']}, N={knn['workload']['n_points']}, "
+          f"k={knn['workload']['k']})")
+    print(f"  knn      loop {knn['per_cloud_loop_ms']:8.2f} ms   "
+          f"batched {knn['batched_ms']:8.2f} ms   "
+          f"speedup {knn['speedup_batched']:.2f}x   "
+          f"cached {knn['speedup_cached']:.1f}x")
+    print(f"  ball     loop {ball['per_cloud_loop_ms']:8.2f} ms   "
+          f"batched {ball['batched_ms']:8.2f} ms   "
+          f"speedup {ball['speedup_batched']:.2f}x")
+    print(f"  forward  loop {forward['sequential_ms']:8.2f} ms   "
+          f"batched {forward['batched_ms']:8.2f} ms   "
+          f"speedup {forward['speedup_batched']:.2f}x   "
+          f"cached {forward['speedup_cached']:.2f}x")
+    print(f"  parallel serial {par['serial_ms']:6.2f} ms   "
+          f"{par['workers']} worker(s) {par['parallel_ms']:8.2f} ms   "
+          f"speedup {par['speedup_parallel']:.2f}x")
+    write_json(results, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro", description="Mesorasi reproduction toolkit"
@@ -122,6 +163,19 @@ def build_parser():
                          choices=("original", "delayed", "limited"))
     p_train.add_argument("--epochs", type=int, default=5)
 
+    p_bench = sub.add_parser("bench", help="benchmark the batched engine")
+    p_bench.add_argument("--batch", type=int, default=16)
+    p_bench.add_argument("--n-points", type=int, default=1024)
+    p_bench.add_argument("--k", type=int, default=16)
+    p_bench.add_argument("--network", default="PointNet++ (c)")
+    p_bench.add_argument("--scale", type=float, default=0.125)
+    p_bench.add_argument("--strategy", default="delayed",
+                         choices=("original", "delayed", "limited"))
+    p_bench.add_argument("--repeats", type=int, default=3)
+    p_bench.add_argument("--quick", action="store_true",
+                         help="tiny workloads (CI smoke)")
+    p_bench.add_argument("--output", default="BENCH_engine.json")
+
     return parser
 
 
@@ -131,6 +185,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "simulate": _cmd_simulate,
     "train": _cmd_train,
+    "bench": _cmd_bench,
 }
 
 

@@ -9,17 +9,22 @@ from .equivalence import (
 from .msg import MultiScaleModule, MultiScaleSpec
 from .module import (
     STRATEGIES,
+    BatchModuleOutput,
+    ModuleOutput,
     ModuleSpec,
     PointCloudModule,
     emit_module_trace,
 )
-from .tables import NeighborIndexTable, PointFeatureTable
+from .tables import BatchedNeighborIndexTable, NeighborIndexTable, PointFeatureTable
 
 __all__ = [
     "ModuleSpec",
     "PointCloudModule",
+    "ModuleOutput",
+    "BatchModuleOutput",
     "emit_module_trace",
     "STRATEGIES",
+    "BatchedNeighborIndexTable",
     "MultiScaleSpec",
     "MultiScaleModule",
     "NeighborIndexTable",

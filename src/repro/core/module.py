@@ -27,7 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..neighbors import knn_brute_force
+from ..neighbors import neighbor_search
 from ..neural import SharedMLP, Tensor
 from ..neural.layers import Linear, Module
 from ..profiling.trace import (
@@ -37,11 +37,17 @@ from ..profiling.trace import (
     ReduceMaxOp,
     SampleOp,
     SubtractOp,
-    Trace,
 )
-from .tables import NeighborIndexTable, PointFeatureTable
+from .tables import BatchedNeighborIndexTable, NeighborIndexTable, PointFeatureTable
 
-__all__ = ["ModuleSpec", "PointCloudModule", "emit_module_trace", "STRATEGIES"]
+__all__ = [
+    "ModuleSpec",
+    "PointCloudModule",
+    "ModuleOutput",
+    "BatchModuleOutput",
+    "emit_module_trace",
+    "STRATEGIES",
+]
 
 STRATEGIES = ("original", "delayed", "limited")
 
@@ -107,6 +113,21 @@ class ModuleOutput:
     pft: PointFeatureTable = None
 
 
+@dataclass
+class BatchModuleOutput:
+    """Result of executing a module over a batch of clouds.
+
+    ``coords`` is (batch, n_out, 3); ``features`` is a flat
+    (batch * n_out, m_out) Tensor in cloud-major row order, so the
+    shared-MLP layers downstream treat the whole batch as extra rows.
+    """
+
+    coords: np.ndarray
+    features: Tensor
+    nit: BatchedNeighborIndexTable
+    pft: PointFeatureTable = None
+
+
 class PointCloudModule(Module):
     """Executable module parameterized by a :class:`ModuleSpec`."""
 
@@ -136,8 +157,18 @@ class PointCloudModule(Module):
             space = coords
         else:
             space = features.data
-        indices, _ = knn_brute_force(space, space[centroid_idx], self.spec.k)
+        indices, _ = neighbor_search(space, space[centroid_idx], self.spec.k)
         return NeighborIndexTable(indices, centroid_idx)
+
+    def _search_batch(self, coords, features, centroid_idx):
+        """(batch, n_out, k) neighbor indices, local to each cloud."""
+        batch, n_in = coords.shape[0], coords.shape[1]
+        if self.spec.search_space == "coords":
+            space = coords
+        else:
+            space = features.data.reshape(batch, n_in, self.spec.in_dim)
+        indices, _ = neighbor_search(space, space[:, centroid_idx], self.spec.k)
+        return BatchedNeighborIndexTable(indices, centroid_idx)
 
     # -- strategies -------------------------------------------------------
 
@@ -182,45 +213,89 @@ class PointCloudModule(Module):
             )
         out_coords = coords[centroid_idx]
 
-        if strategy == "original":
-            out_features, nit, pft = self._forward_original(
-                coords, features, centroid_idx
-            )
-        elif strategy == "delayed":
-            out_features, nit, pft = self._forward_delayed(
-                coords, features, centroid_idx
-            )
-        else:
-            out_features, nit, pft = self._forward_limited(
-                coords, features, centroid_idx
-            )
+        nit = self._search(coords, features, centroid_idx)
+        out_features, pft = self._aggregate(
+            strategy, features, nit.indices, centroid_idx
+        )
         return ModuleOutput(out_coords, out_features, nit, pft)
 
-    def _forward_original(self, coords, features, centroid_idx):
-        nit = self._search(coords, features, centroid_idx)
-        k, m_in = self.spec.k, self.spec.in_dim
-        n_out = len(centroid_idx)
-        gathered = features.gather(nit.indices)  # (n_out, k, m_in)
-        centroids = features.gather(centroid_idx).reshape(n_out, 1, m_in)
-        offsets = (gathered - centroids).reshape(n_out * k, m_in)
-        transformed = self.mlp(offsets).reshape(n_out, k, self.spec.out_dim)
-        reduced = transformed.max(axis=1)
-        return reduced, nit, None
+    def forward_batch(self, coords, features, strategy="delayed"):
+        """Run the module over a batch of clouds at once.
 
-    def _forward_delayed(self, coords, features, centroid_idx):
+        Parameters
+        ----------
+        coords:
+            (batch, n_in, 3) numpy coordinates.
+        features:
+            Flat (batch * n_in, Min) Tensor of per-point features, rows
+            in cloud-major order.
+        strategy:
+            One of :data:`STRATEGIES`.
+
+        The neighbor search runs batched (cloud-local indices), then the
+        indices are lifted into the flat row space so aggregation and
+        the shared MLP process the whole batch as one tall matrix — the
+        same arithmetic per row as the single-cloud path.
+
+        Returns a :class:`BatchModuleOutput`.
+        """
+        if strategy not in STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r}")
+        batch, n_in = coords.shape[0], coords.shape[1]
+        if features.shape != (batch * n_in, self.spec.in_dim):
+            raise ValueError(
+                f"{self.spec.name}: expected flat features "
+                f"{(batch * n_in, self.spec.in_dim)}, got {features.shape}"
+            )
+        centroid_idx = self._sample_centroids(n_in)
+        out_coords = coords[:, centroid_idx]
+        nit = self._search_batch(coords, features, centroid_idx)
+        row_base = (np.arange(batch, dtype=np.int64) * n_in)[:, None]
+        flat_indices = (nit.indices + row_base[:, None]).reshape(
+            batch * len(centroid_idx), self.spec.k
+        )
+        flat_centroids = (centroid_idx[None, :] + row_base).reshape(-1)
+        out_features, pft = self._aggregate(
+            strategy, features, flat_indices, flat_centroids
+        )
+        return BatchModuleOutput(out_coords, out_features, nit, pft)
+
+    def _aggregate(self, strategy, features, indices, centroid_idx):
+        """Dispatch aggregation + feature computation over flat rows.
+
+        ``indices`` is (rows, k) and ``centroid_idx`` (rows,), both into
+        ``features``'s row space — per-cloud for the single path, offset
+        into the flat batch for the batched path.
+        """
+        if strategy == "original":
+            return self._aggregate_original(features, indices, centroid_idx)
+        if strategy == "delayed":
+            return self._aggregate_delayed(features, indices, centroid_idx)
+        return self._aggregate_limited(features, indices, centroid_idx)
+
+    def _aggregate_original(self, features, indices, centroid_idx):
+        k, m_in = self.spec.k, self.spec.in_dim
+        rows = len(centroid_idx)
+        gathered = features.gather(indices)  # (rows, k, m_in)
+        centroids = features.gather(centroid_idx).reshape(rows, 1, m_in)
+        offsets = (gathered - centroids).reshape(rows * k, m_in)
+        transformed = self.mlp(offsets).reshape(rows, k, self.spec.out_dim)
+        reduced = transformed.max(axis=1)
+        return reduced, None
+
+    def _aggregate_delayed(self, features, indices, centroid_idx):
         # F over all input points (would run on the NPU, in parallel
         # with N on the GPU).
         pft_tensor = self.mlp(features)
         pft = PointFeatureTable(pft_tensor.data)
-        nit = self._search(coords, features, centroid_idx)
         # A: gather in feature space, reduce, then subtract the centroid
         # feature (exact, because max distributes over subtraction).
-        gathered = pft_tensor.gather(nit.indices)  # (n_out, k, m_out)
+        gathered = pft_tensor.gather(indices)  # (rows, k, m_out)
         reduced = gathered.max(axis=1)
         out = reduced - pft_tensor.gather(centroid_idx)
-        return out, nit, pft
+        return out, pft
 
-    def _forward_limited(self, coords, features, centroid_idx):
+    def _aggregate_limited(self, features, indices, centroid_idx):
         layers = self.mlp.net.layers
         first = layers[0]
         if not isinstance(first, Linear):
@@ -229,20 +304,19 @@ class PointCloudModule(Module):
         # the subtraction, so add it back afterwards to stay exact.
         hoisted = features @ first.weight
         k = self.spec.k
-        n_out = len(centroid_idx)
+        rows = len(centroid_idx)
         hidden = hoisted.shape[-1]
-        nit = self._search(coords, features, centroid_idx)
-        gathered = hoisted.gather(nit.indices)
-        centroids = hoisted.gather(centroid_idx).reshape(n_out, 1, hidden)
-        offsets = (gathered - centroids).reshape(n_out * k, hidden)
+        gathered = hoisted.gather(indices)
+        centroids = hoisted.gather(centroid_idx).reshape(rows, 1, hidden)
+        offsets = (gathered - centroids).reshape(rows * k, hidden)
         if first.bias is not None:
             offsets = offsets + first.bias
         out = offsets
         for layer in layers[1:]:
             out = layer(out)
-        transformed = out.reshape(n_out, k, self.spec.out_dim)
+        transformed = out.reshape(rows, k, self.spec.out_dim)
         reduced = transformed.max(axis=1)
-        return reduced, nit, PointFeatureTable(hoisted.data)
+        return reduced, PointFeatureTable(hoisted.data)
 
 
 def emit_module_trace(spec, strategy, trace, n_in=None):

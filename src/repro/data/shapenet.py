@@ -19,7 +19,6 @@ from .shapes import (
     sample_cylinder,
     sample_ellipsoid,
     sample_plane,
-    sample_sphere,
 )
 
 __all__ = ["SyntheticShapeNet", "CATEGORY_BUILDERS", "num_part_classes"]

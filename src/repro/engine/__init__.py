@@ -1,0 +1,27 @@
+"""Batched multi-cloud inference engine.
+
+The serving layer over the reproduction: stack B clouds into (B, N, 3)
+arrays and drive the full forward pass batch-at-a-time
+(:class:`BatchRunner`), skip repeated neighbor searches with a
+content-keyed LRU (:class:`NeighborIndexCache`), and fan irregular
+per-cloud work across cores (:class:`ParallelRunner`).  ``repro bench``
+exercises all three and records the throughput trajectory in
+``BENCH_engine.json``.
+"""
+
+from .bench import run_benchmarks, write_json
+from .cache import NeighborIndexCache, content_digest
+from .parallel import ParallelRunner, kdtree_nit_task, soc_latency_task
+from .runner import BatchResult, BatchRunner
+
+__all__ = [
+    "BatchRunner",
+    "BatchResult",
+    "NeighborIndexCache",
+    "content_digest",
+    "ParallelRunner",
+    "kdtree_nit_task",
+    "soc_latency_task",
+    "run_benchmarks",
+    "write_json",
+]

@@ -1,0 +1,284 @@
+"""Engine throughput benchmark: single vs batched vs parallel vs cached.
+
+``repro bench`` runs this suite and writes ``BENCH_engine.json`` so CI
+can track the perf trajectory PR over PR.  Every row compares the
+engine's batched/cached/parallel path against the per-cloud loop the
+repository used before the engine existed (default-precision
+:func:`knn_brute_force` calls, single-cloud network forwards).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from ..neighbors import ball_query, knn_brute_force, raw_knn
+from ..networks import build_network
+from .cache import NeighborIndexCache
+from .parallel import ParallelRunner, kdtree_nit_task
+from .runner import BatchRunner
+
+__all__ = ["run_benchmarks", "write_json"]
+
+
+def _best_ms(fn, repeats):
+    """Best-of-``repeats`` wall time in milliseconds."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best * 1e3
+
+
+def _reference_knn_cloud(points, queries, k):
+    """The pre-engine per-cloud KNN: full float64 distance matrix + top-K.
+
+    Kept verbatim as the serving baseline the engine is measured
+    against (this is what every forward pass paid before this PR).
+    """
+    from ..neighbors import pairwise_squared_distances
+
+    d = pairwise_squared_distances(queries, points)
+    part = np.argpartition(d, k - 1, axis=1)[:, :k]
+    part_d = np.take_along_axis(d, part, axis=1)
+    order = np.argsort(part_d, axis=1, kind="stable")
+    indices = np.take_along_axis(part, order, axis=1)
+    return indices, np.sqrt(np.take_along_axis(part_d, order, axis=1))
+
+
+def _reference_ball_cloud(points, queries, radius, max_samples):
+    """The pre-engine ball query: a Python loop over query rows."""
+    from ..neighbors import pairwise_squared_distances
+
+    d = pairwise_squared_distances(queries, points)
+    r_sq = radius * radius
+    indices = np.empty((d.shape[0], max_samples), dtype=np.int64)
+    counts = np.empty(d.shape[0], dtype=np.int64)
+    for row in range(d.shape[0]):
+        hits = np.nonzero(d[row] <= r_sq)[0]
+        if len(hits) == 0:
+            hits = np.array([int(np.argmin(d[row]))])
+        kept = hits[:max_samples]
+        counts[row] = len(kept)
+        if len(kept) < max_samples:
+            kept = np.concatenate(
+                [kept, np.full(max_samples - len(kept), kept[0])]
+            )
+        indices[row] = kept
+    return indices, counts
+
+
+def _threaded_knn(clouds, queries, k, dtype, workers):
+    chunks = [c for c in np.array_split(np.arange(len(clouds)), workers) if len(c)]
+
+    def one(chunk):
+        return knn_brute_force(clouds[chunk], queries[chunk], k, dtype=dtype)
+
+    with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
+        parts = list(pool.map(one, chunks))
+    return (
+        np.concatenate([p[0] for p in parts]),
+        np.concatenate([p[1] for p in parts]),
+    )
+
+
+def bench_knn(batch=16, n_points=1024, k=16, repeats=3, seed=0):
+    """Brute-force KNN: per-cloud loop vs batched kernel vs warm cache."""
+    rng = np.random.default_rng(seed)
+    clouds = rng.normal(size=(batch, n_points, 3)).astype(np.float32)
+    workers = os.cpu_count() or 1
+
+    loop_ms = _best_ms(
+        lambda: [
+            _reference_knn_cloud(clouds[b], clouds[b], k) for b in range(batch)
+        ],
+        repeats,
+    )
+    current_loop_ms = _best_ms(
+        lambda: [knn_brute_force(clouds[b], clouds[b], k) for b in range(batch)],
+        repeats,
+    )
+    batched_ms = _best_ms(
+        lambda: knn_brute_force(clouds, clouds, k, dtype=np.float32), repeats
+    )
+    result = {
+        "workload": {
+            "batch": batch,
+            "n_points": n_points,
+            "k": k,
+            "queries_per_cloud": n_points,
+        },
+        "cpu_count": workers,
+        "baseline": "pre-engine per-cloud loop (full float64 distance matrix)",
+        "per_cloud_loop_ms": loop_ms,
+        "current_kernel_loop_ms": current_loop_ms,
+        "batched_ms": batched_ms,
+    }
+    best_batched = batched_ms
+    if workers > 1:
+        threaded_ms = _best_ms(
+            lambda: _threaded_knn(clouds, clouds, k, np.float32, workers), repeats
+        )
+        result["batched_threaded_ms"] = threaded_ms
+        best_batched = min(best_batched, threaded_ms)
+
+    cache = NeighborIndexCache(maxsize=2 * batch)
+    cache.knn(clouds, clouds, k, dtype=np.float32)  # warm
+    cached_ms = _best_ms(
+        lambda: cache.knn(clouds, clouds, k, dtype=np.float32), repeats
+    )
+    result["cached_warm_ms"] = cached_ms
+    result["speedup_batched"] = loop_ms / best_batched
+    result["speedup_cached"] = loop_ms / cached_ms
+    return result
+
+
+def bench_ball(batch=16, n_points=1024, radius=0.5, max_samples=32, repeats=3,
+               seed=0):
+    """Ball query: per-cloud loop vs the batched vectorized kernel."""
+    rng = np.random.default_rng(seed)
+    clouds = rng.normal(size=(batch, n_points, 3)).astype(np.float32)
+    loop_ms = _best_ms(
+        lambda: [
+            _reference_ball_cloud(clouds[b], clouds[b], radius, max_samples)
+            for b in range(batch)
+        ],
+        repeats,
+    )
+    batched_ms = _best_ms(
+        lambda: ball_query(clouds, clouds, radius, max_samples, dtype=np.float32),
+        repeats,
+    )
+    return {
+        "workload": {
+            "batch": batch,
+            "n_points": n_points,
+            "radius": radius,
+            "max_samples": max_samples,
+        },
+        "baseline": "pre-engine per-cloud loop (Python row loop)",
+        "per_cloud_loop_ms": loop_ms,
+        "batched_ms": batched_ms,
+        "speedup_batched": loop_ms / batched_ms,
+    }
+
+
+def bench_forward(network="PointNet++ (c)", batch=16, scale=0.125,
+                  strategy="delayed", repeats=2, seed=0):
+    """Network forward: sequential loop vs batched engine vs warm cache."""
+    net = build_network(network, scale=scale)
+    rng = np.random.default_rng(seed)
+    clouds = rng.normal(size=(batch, net.n_points, 3))
+
+    runner = BatchRunner(net, strategy=strategy)
+    sequential_ms = _best_ms(lambda: runner.run_sequential(clouds), repeats)
+    batched_ms = _best_ms(lambda: runner.run(clouds), repeats)
+
+    cached_runner = BatchRunner(
+        net, strategy=strategy, cache=NeighborIndexCache(maxsize=512)
+    )
+    cached_runner.run(clouds)  # warm the neighbor-index cache
+    cached_ms = _best_ms(lambda: cached_runner.run(clouds), repeats)
+
+    return {
+        "workload": {
+            "network": network,
+            "strategy": strategy,
+            "batch": batch,
+            "n_points": net.n_points,
+            "scale": scale,
+        },
+        "sequential_ms": sequential_ms,
+        "batched_ms": batched_ms,
+        "batched_cached_ms": cached_ms,
+        "speedup_batched": sequential_ms / batched_ms,
+        "speedup_cached": sequential_ms / cached_ms,
+        "cache_stats": cached_runner.cache.stats(),
+    }
+
+
+def bench_parallel(n_clouds=8, n_points=512, k=16, repeats=1, seed=0):
+    """k-d tree NIT builds (unbatchable) serial vs multi-core processes."""
+    rng = np.random.default_rng(seed)
+    clouds = rng.normal(size=(n_clouds, n_points, 3))
+    tasks = [(clouds[b], clouds[b][: n_points // 2], k) for b in range(n_clouds)]
+
+    serial = ParallelRunner(max_workers=1, backend="serial")
+    serial_ms = _best_ms(lambda: serial.map(kdtree_nit_task, tasks), repeats)
+    workers = os.cpu_count() or 1
+    runner = ParallelRunner(max_workers=workers, backend="process")
+    parallel_ms = _best_ms(lambda: runner.map(kdtree_nit_task, tasks), repeats)
+    return {
+        "workload": {"n_clouds": n_clouds, "n_points": n_points, "k": k},
+        "workers": workers,
+        "serial_ms": serial_ms,
+        "parallel_ms": parallel_ms,
+        "speedup_parallel": serial_ms / parallel_ms,
+    }
+
+
+def bench_substrates(n_points=1024, k=16, queries=256, repeats=3, seed=0):
+    """One cloud through each substrate behind the common API."""
+    rng = np.random.default_rng(seed)
+    cloud = rng.normal(size=(n_points, 3))
+    out = {"workload": {"n_points": n_points, "k": k, "queries": queries}}
+    for substrate in ("brute", "kdtree", "grid"):
+        out[f"{substrate}_ms"] = _best_ms(
+            lambda s=substrate: raw_knn(cloud, cloud[:queries], k, substrate=s),
+            repeats,
+        )
+    return out
+
+
+def run_benchmarks(batch=16, n_points=1024, k=16, network="PointNet++ (c)",
+                   scale=0.125, strategy="delayed", repeats=3, quick=False):
+    """Run the full suite; ``quick`` shrinks workloads for CI smoke runs."""
+    if batch < 1:
+        raise ValueError("batch must be at least 1")
+    if not 0 < k <= n_points:
+        raise ValueError(f"k must be in [1, n_points={n_points}], got {k}")
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    if quick:
+        batch, n_points, k = min(batch, 4), min(n_points, 256), min(k, 8)
+        scale = min(scale, 0.125)
+        repeats = 1
+    results = {
+        "meta": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "quick": quick,
+        },
+        "knn": bench_knn(batch=batch, n_points=n_points, k=k, repeats=repeats),
+        "ball": bench_ball(batch=batch, n_points=n_points, repeats=repeats),
+        "forward": bench_forward(
+            network=network,
+            batch=batch,
+            scale=scale,
+            strategy=strategy,
+            repeats=max(1, repeats - 1),
+        ),
+        "parallel": bench_parallel(
+            n_clouds=max(2, batch // 2), n_points=max(128, n_points // 2), k=k
+        ),
+        "substrates": bench_substrates(
+            n_points=n_points, k=k, queries=max(64, n_points // 4),
+            repeats=repeats,
+        ),
+    }
+    return results
+
+
+def write_json(results, path):
+    with open(path, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

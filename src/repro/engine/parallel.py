@@ -1,0 +1,77 @@
+"""ParallelRunner: multi-core fan-out for work that cannot batch.
+
+Batching covers the regular kernels (distance matrices, shared MLPs);
+what it cannot cover is per-cloud work with irregular control flow —
+k-d tree builds, grid walks, SoC simulation sweeps.  Those scale across
+cores instead.  :class:`ParallelRunner` maps a picklable task over a
+``ProcessPoolExecutor`` (threads or serial on request), degrading to a
+serial sweep when only one core is available or the sandbox forbids
+process pools.
+
+The module-level ``*_task`` helpers are defined at import scope so the
+``spawn`` start method can pickle them.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+__all__ = ["ParallelRunner", "kdtree_nit_task", "soc_latency_task"]
+
+_BACKENDS = ("process", "thread", "serial")
+
+
+class ParallelRunner:
+    """Map per-cloud tasks over worker processes (or threads).
+
+    ``backend`` is ``"process"`` (default), ``"thread"``, or
+    ``"serial"``.  With one worker, one item, or a pool that fails to
+    start, the map degrades to an in-process loop — results are
+    identical either way.
+    """
+
+    def __init__(self, max_workers=None, backend="process"):
+        if backend not in _BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; expected {_BACKENDS}")
+        self.max_workers = int(max_workers or os.cpu_count() or 1)
+        if self.max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        self.backend = backend
+
+    def map(self, fn, items, chunksize=1):
+        """Apply ``fn`` to every item, preserving order."""
+        items = list(items)
+        if self.backend == "serial" or self.max_workers == 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        try:
+            if self.backend == "process":
+                with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                    return list(pool.map(fn, items, chunksize=chunksize))
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                return list(pool.map(fn, items))
+        except (OSError, PermissionError, RuntimeError) as exc:
+            warnings.warn(
+                f"{self.backend} pool unavailable ({exc}); running serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return [fn(item) for item in items]
+
+
+def kdtree_nit_task(args):
+    """(points, queries, k) -> k-d tree KNN.  Tree builds cannot batch."""
+    points, queries, k = args
+    from ..neighbors import raw_knn
+
+    return raw_knn(points, queries, k, substrate="kdtree")
+
+
+def soc_latency_task(args):
+    """(network_name, config_name) -> simulated SoC latency in seconds."""
+    network_name, config_name = args
+    from ..hw import SoC
+    from ..networks import build_network
+
+    return SoC().simulate(build_network(network_name), config_name).latency

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..neighbors import knn_brute_force, random_sampling
-from ..profiling.trace import GatherOp, MatMulOp, ReduceMaxOp, SubtractOp
+from ..profiling.trace import GatherOp, MatMulOp, ReduceMaxOp
 from .aggregation_unit import AggregationUnit
 from .dram import LPDDR3
 from .gpu import MobileGPU

@@ -1,8 +1,15 @@
 """Neighbor search substrate: the operator ``N`` of the paper."""
 
 from .ball import ball_query
-from .grid import UniformGrid
 from .brute import knn_brute_force, pairwise_squared_distances
+from .dispatch import (
+    SUBSTRATES,
+    active_search_options,
+    neighbor_search,
+    raw_knn,
+    search_context,
+)
+from .grid import UniformGrid
 from .kdtree import KDTree
 from .sampling import farthest_point_sampling, random_sampling
 from .stats import mean_occupancy, neighborhood_occupancy, occupancy_histogram
@@ -13,6 +20,11 @@ __all__ = [
     "KDTree",
     "UniformGrid",
     "ball_query",
+    "SUBSTRATES",
+    "neighbor_search",
+    "raw_knn",
+    "search_context",
+    "active_search_options",
     "farthest_point_sampling",
     "random_sampling",
     "neighborhood_occupancy",

@@ -17,9 +17,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core import ModuleSpec, PointCloudModule, emit_module_trace
-from ..neighbors import knn_brute_force
-from ..neural import Dropout, Linear, Module, ReLU, Sequential, Tensor, concat
+from ..core import ModuleSpec, emit_module_trace
+from ..neighbors import neighbor_search
+from ..neural import Dropout, Linear, Module, ReLU, Sequential, Tensor, concat, stack
 from ..profiling.trace import (
     ConcatOp,
     InterpolateOp,
@@ -101,11 +101,35 @@ class FeaturePropagation(Module):
     def forward(self, fine_coords, fine_feats, coarse_coords, coarse_feats):
         """Propagate (n_coarse, C) features to (n_fine, ...) points."""
         k = min(self.K, len(coarse_coords))
-        idx, dist = knn_brute_force(coarse_coords, fine_coords, k)
+        idx, dist = neighbor_search(coarse_coords, fine_coords, k)
         weights = 1.0 / np.maximum(dist, 1e-8)
         weights = weights / weights.sum(axis=1, keepdims=True)
         gathered = coarse_feats.gather(idx)  # (n_fine, k, C)
         interpolated = (gathered * Tensor(weights[:, :, None])).sum(axis=1)
+        if fine_feats is not None:
+            interpolated = concat([fine_feats, interpolated], axis=1)
+        return self.mlp(interpolated)
+
+    def forward_batch(self, fine_coords, fine_feats, coarse_coords, coarse_feats):
+        """Batched propagation: (B, n_fine, 3) clouds, flat feature rows.
+
+        ``fine_feats``/``coarse_feats`` are flat (B * n, C) Tensors in
+        cloud-major order (``fine_feats`` may be None, as on the first
+        decoder level).  The three-nearest search runs batched; the
+        inverse-distance interpolation then works on flat rows, exactly
+        as the single-cloud path does per cloud.
+        """
+        batch, n_fine = fine_coords.shape[0], fine_coords.shape[1]
+        n_coarse = coarse_coords.shape[1]
+        k = min(self.K, n_coarse)
+        idx, dist = neighbor_search(coarse_coords, fine_coords, k)  # (B, nf, k)
+        weights = 1.0 / np.maximum(dist, 1e-8)
+        weights = weights / weights.sum(axis=-1, keepdims=True)
+        row_base = (np.arange(batch, dtype=np.int64) * n_coarse)[:, None, None]
+        flat_idx = (idx + row_base).reshape(batch * n_fine, k)
+        gathered = coarse_feats.gather(flat_idx)  # (B * nf, k, C)
+        flat_w = Tensor(weights.reshape(batch * n_fine, k)[:, :, None])
+        interpolated = (gathered * flat_w).sum(axis=1)
         if fine_feats is not None:
             interpolated = concat([fine_feats, interpolated], axis=1)
         return self.mlp(interpolated)
@@ -168,6 +192,51 @@ class PointCloudNetwork(Module):
     def _forward_body(self, coords, feats, strategy, trace):
         raise NotImplementedError
 
+    # -- batched execution ---------------------------------------------------
+
+    def forward_batch(self, coords, strategy="delayed"):
+        """Run the network over a (batch, n_points, 3) stack of clouds.
+
+        Classification networks return a (batch, num_classes) Tensor,
+        segmentation networks (batch, n_points, num_classes).  Networks
+        with a dedicated batched body drive the whole stack through
+        batched neighbor search and tall shared-MLP matrices; the rest
+        fall back to a per-cloud loop behind the same API.
+        """
+        coords = np.asarray(coords, dtype=np.float64)
+        if coords.ndim == 2:
+            coords = coords[None]
+        if coords.ndim != 3 or coords.shape[1:] != (self.n_points, 3):
+            raise ValueError(
+                f"{self.name} expects (batch, {self.n_points}, 3) coords, "
+                f"got {coords.shape}"
+            )
+        feats = Tensor(coords.reshape(-1, 3).copy())
+        return self._forward_batch_body(coords, feats, strategy)
+
+    def _forward_batch_body(self, coords, feats, strategy):
+        """Fallback batched body: loop the single-cloud forward per cloud."""
+        outputs = [
+            self.forward(coords[b], strategy=strategy)
+            for b in range(coords.shape[0])
+        ]
+        return self.stack_outputs(outputs)
+
+    @staticmethod
+    def stack_outputs(outputs):
+        """Stack per-cloud forward outputs along a new batch axis.
+
+        The single source of truth for the output convention: (1, C)
+        classification logits concatenate to (B, C); (n, C) per-point
+        logits stack to (B, n, C); anything else (detection dicts) is
+        returned as a plain list.
+        """
+        if all(isinstance(out, Tensor) for out in outputs):
+            if outputs[0].ndim == 2 and outputs[0].shape[0] == 1:
+                return concat(outputs, axis=0)  # classification: (B, C)
+            return stack(outputs, axis=0)  # segmentation: (B, n, C)
+        return outputs
+
     # -- tracing ------------------------------------------------------------
 
     def trace(self, strategy="original"):
@@ -185,6 +254,22 @@ class PointCloudNetwork(Module):
         intermediates = [(coords, feats)]
         for module in self.encoder:
             out = module(coords, feats, strategy=strategy, trace=trace)
+            coords, feats = out.coords, out.features
+            intermediates.append((coords, feats))
+        if keep_intermediates:
+            return coords, feats, intermediates
+        return coords, feats
+
+    def _run_encoder_batch(self, coords, feats, strategy, keep_intermediates=False):
+        """Drive the encoder stack batch-at-a-time.
+
+        ``coords`` is (batch, n, 3); ``feats`` a flat (batch * n, m)
+        Tensor.  Mirrors :meth:`_run_encoder` with the batched module
+        path.
+        """
+        intermediates = [(coords, feats)]
+        for module in self.encoder:
+            out = module.forward_batch(coords, feats, strategy=strategy)
             coords, feats = out.coords, out.features
             intermediates.append((coords, feats))
         if keep_intermediates:

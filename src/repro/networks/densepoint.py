@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core import ModuleSpec, PointCloudModule
-from ..neural import SharedMLP, concat
+from ..neural import concat
 from .base import FCHead, PointCloudNetwork, scale_spec
 
 __all__ = ["DensePoint"]

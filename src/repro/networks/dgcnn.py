@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core import ModuleSpec, PointCloudModule
-from ..neural import SharedMLP, Tensor, concat
+from ..neural import SharedMLP, concat
 from .base import FCHead, PointCloudNetwork, scale_spec
 
 __all__ = ["DGCNNClassification", "DGCNNSegmentation"]
@@ -77,6 +77,18 @@ class DGCNNClassification(PointCloudNetwork):
             self._emit_tail(trace)
         return logits
 
+    def _forward_batch_body(self, coords, feats, strategy):
+        skips = []
+        for module in self.encoder:
+            out = module.forward_batch(coords, feats, strategy=strategy)
+            feats = out.features
+            skips.append(feats)
+        stacked = concat(skips, axis=1)  # (batch * n, 512)
+        embedded = self.embed(stacked)   # (batch * n, 1024)
+        batch, n = coords.shape[0], coords.shape[1]
+        pooled = embedded.reshape(batch, n, embedded.shape[1]).max(axis=1)
+        return self.head(pooled)  # (batch, num_classes)
+
     def _emit_tail(self, trace):
         n = self.n_points
         skip_dim = self.embed.dims[0]
@@ -128,6 +140,21 @@ class DGCNNSegmentation(PointCloudNetwork):
         if trace is not None:
             self._emit_tail(trace)
         return logits
+
+    def _forward_batch_body(self, coords, feats, strategy):
+        skips = []
+        for module in self.encoder:
+            out = module.forward_batch(coords, feats, strategy=strategy)
+            feats = out.features
+            skips.append(feats)
+        stacked = concat(skips, axis=1)  # (batch * n, 192)
+        embedded = self.embed(stacked)
+        batch, n = coords.shape[0], coords.shape[1]
+        pooled = embedded.reshape(batch, n, embedded.shape[1]).max(axis=1)
+        broadcast = pooled.gather(np.repeat(np.arange(batch), n))  # (batch * n, 1024)
+        fused = concat([broadcast, stacked], axis=1)
+        logits = self.head(fused)
+        return logits.reshape(batch, n, self.num_classes)
 
     def _emit_tail(self, trace):
         n = self.n_points

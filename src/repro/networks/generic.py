@@ -14,8 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core import ModuleSpec, PointCloudModule
-from ..neural import concat
+from ..core import PointCloudModule
 from .base import FCHead, PointCloudNetwork
 
 __all__ = ["GenericPointCloudNetwork", "validate_spec_chain"]

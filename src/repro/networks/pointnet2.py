@@ -12,7 +12,6 @@ from __future__ import annotations
 import numpy as np
 
 from ..core import ModuleSpec, PointCloudModule
-from ..neural import Tensor
 from .base import FCHead, FeaturePropagation, PointCloudNetwork, scale_spec
 
 __all__ = ["PointNet2Classification", "PointNet2Segmentation"]
@@ -54,6 +53,12 @@ class PointNet2Classification(PointCloudNetwork):
         if trace is not None:
             self.head.emit_trace(trace, rows=1)
         return logits
+
+    def _forward_batch_body(self, coords, feats, strategy):
+        # sa3 reduces every cloud to one centroid, so the flat encoder
+        # output is already (batch, 1024) and the head batches for free.
+        _, feats = self._run_encoder_batch(coords, feats, strategy)
+        return self.head(feats)  # (batch, num_classes)
 
     def _emit_trace(self, trace, strategy):
         self._emit_encoder_trace(trace, strategy)
@@ -97,6 +102,18 @@ class PointNet2Segmentation(PointCloudNetwork):
             self.fp1.emit_trace(trace, n_coarse=len(c1))
             self.head.emit_trace(trace, rows=len(c0))
         return logits
+
+    def _forward_batch_body(self, coords, feats, strategy):
+        _, _, levels = self._run_encoder_batch(
+            coords, feats, strategy, keep_intermediates=True
+        )
+        (c0, f0), (c1, f1), (c2, f2), (c3, f3) = levels
+        up2 = self.fp3.forward_batch(c2, f2, c3, f3)
+        up1 = self.fp2.forward_batch(c1, f1, c2, up2)
+        up0 = self.fp1.forward_batch(c0, f0, c1, up1)
+        logits = self.head(up0)  # (batch * n_points, num_classes)
+        batch, n_points = coords.shape[0], coords.shape[1]
+        return logits.reshape(batch, n_points, self.num_classes)
 
     def _emit_trace(self, trace, strategy):
         self._emit_encoder_trace(trace, strategy)

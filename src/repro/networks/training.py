@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..data.metrics import mean_iou, overall_accuracy
-from ..neural import Adam, Tensor, cross_entropy, mse_loss, no_grad
+from ..neural import Adam, cross_entropy, mse_loss, no_grad
 
 __all__ = [
     "TrainResult",

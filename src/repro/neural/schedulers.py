@@ -10,8 +10,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
-
 __all__ = ["StepLR", "CosineLR", "ExponentialLR", "clip_grad_norm"]
 
 

@@ -280,6 +280,10 @@ class Tensor:
         matching the behaviour of max-pooling in the original networks.
         """
         out_data = self.data.max(axis=axis, keepdims=keepdims)
+        if not (_GRAD_ENABLED and self.requires_grad):
+            # Inference fast path: the argmax bookkeeping below exists
+            # only for the backward pass and costs as much as the max.
+            return Tensor._from_op(out_data, (self,), None)
         argmax = np.expand_dims(self.data.argmax(axis=axis), axis)
 
         def backward(grad):

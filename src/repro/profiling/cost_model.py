@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .trace import GatherOp, MatMulOp, Trace
+from .trace import GatherOp, Trace
 
 __all__ = [
     "StrategyComparison",

@@ -8,8 +8,6 @@ from repro.neural import (
     BatchNorm,
     Dropout,
     Linear,
-    Module,
-    ReLU,
     SGD,
     Sequential,
     SharedMLP,

@@ -7,13 +7,12 @@ import pytest
 from repro.core import ModuleSpec
 from repro.networks import (
     ALL_NETWORKS,
-    NETWORK_CLASSES,
     PROFILED_NETWORKS,
     build_network,
     scale_spec,
     table1_rows,
 )
-from repro.profiling.trace import MatMulOp, NeighborSearchOp
+from repro.profiling.trace import NeighborSearchOp
 
 SCALE = 0.0625  # 1/16 of paper scale keeps execution fast
 

@@ -1,6 +1,5 @@
 """Tests for traces, cost analytics and the CNN MAC models."""
 
-import numpy as np
 import pytest
 
 from repro.networks import build_network
