@@ -42,21 +42,31 @@ def _cmd_networks(_args):
 
 
 def _cmd_trace(args):
+    from .graph import compile_network_plan
     from .networks import build_network
 
     net = build_network(args.network)
     trace = net.trace(args.strategy)
     print(f"{net.name} [{args.strategy}] — {len(trace)} ops, "
           f"{trace.mlp_macs() / 1e6:.1f} M MLP MACs")
-    for op in trace:
-        fields = {
-            k: v for k, v in vars(op).items()
-            if k not in ("phase", "module", "parallelizable")
-        }
-        flag = " ||" if op.parallelizable else ""
-        detail = ", ".join(f"{k}={v}" for k, v in fields.items())
-        print(f"  [{op.phase}] {op.module:12s} "
-              f"{type(op).__name__:18s} {detail}{flag}")
+    if args.graph:
+        # The strategy-rewritten operator graphs the executors run and
+        # the trace below is lowered from.
+        print(compile_network_plan(net, args.strategy).describe())
+    else:
+        for op in trace:
+            fields = {
+                k: v for k, v in vars(op).items()
+                if k not in ("phase", "module", "parallelizable")
+            }
+            flag = " ||" if op.parallelizable else ""
+            detail = ", ".join(f"{k}={v}" for k, v in fields.items())
+            print(f"  [{op.phase}] {op.module:12s} "
+                  f"{type(op).__name__:18s} {detail}{flag}")
+    print("phase  ops        MACs     bytes read  bytes written")
+    for phase, row in trace.phase_summary().items():
+        print(f"  {phase}    {row['ops']:3d} {row['macs']:11,d} "
+              f"{row['bytes_read']:12,d} {row['bytes_written']:14,d}")
     return 0
 
 
@@ -134,6 +144,11 @@ def _cmd_bench(args):
     print(f"  parallel serial {par['serial_ms']:6.2f} ms   "
           f"{par['workers']} worker(s) {par['parallel_ms']:8.2f} ms   "
           f"speedup {par['speedup_parallel']:.2f}x")
+    graph = results["graph"]
+    print(f"  graph    ref  {graph['reference_ms']:8.2f} ms   "
+          f"eager   {graph['eager_ms']:8.2f} ms   "
+          f"overhead {graph['overhead_ratio']:.3f}x   "
+          f"batched {graph['batched_clouds_per_s']:.0f} clouds/s")
     write_json(results, args.output)
     print(f"wrote {args.output}")
     return 0
@@ -152,6 +167,9 @@ def build_parser():
     p_trace.add_argument("network")
     p_trace.add_argument("--strategy", default="delayed",
                          choices=("original", "delayed", "limited"))
+    p_trace.add_argument("--graph", action="store_true",
+                         help="print the lowered operator graphs instead "
+                              "of the flat op list")
 
     p_sim = sub.add_parser("simulate", help="simulate a network on an SoC")
     p_sim.add_argument("network")

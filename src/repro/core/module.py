@@ -2,8 +2,7 @@
 
 A *module* (§III-A) maps an (Nin, Min) point cloud to an (Nout, Mout)
 point cloud through neighbor search (N), aggregation (A) and feature
-computation (F).  This class implements the three orderings studied in
-the paper:
+computation (F).  The three orderings studied in the paper:
 
 * ``original`` — ``F(A(N(p), p))``: aggregate neighbor offsets, then run
   the shared MLP over Nout*K rows (Fig 3).
@@ -15,10 +14,16 @@ the paper:
   matrix-vector product (which is exactly linear), aggregate, then run
   the remaining layers over Nout*K rows.
 
-Each strategy both executes (numpy autograd) and can emit the operator
-trace used by the profiling analytics and hardware simulators; the
-trace can also be produced analytically without execution via
-:func:`emit_module_trace` so paper-scale inputs stay cheap.
+Since the operator-graph IR landed, the module no longer hand-writes a
+forward body per strategy: it builds its graph once in ``original``
+form and the ``delayed``/``limited`` orderings are graph-rewrite passes
+(:mod:`repro.graph.passes`).  Execution — single-cloud or batched —
+interprets the rewritten graph (:mod:`repro.graph.executors`), and the
+operator trace the profiling analytics and hardware simulators consume
+is lowered from the *same* graph (:mod:`repro.graph.lower`), so trace
+and execution cannot drift.  :func:`emit_module_trace` remains the
+analytic entry point (it never touches point data, so paper-scale
+inputs stay cheap) as a thin shim over the lowering.
 """
 
 from __future__ import annotations
@@ -27,17 +32,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..neighbors import neighbor_search
+from ..graph.executors import BatchedExecutor, EagerExecutor
+from ..graph.lower import lower_module_trace
+from ..graph.passes import module_graph
 from ..neural import SharedMLP, Tensor
 from ..neural.layers import Linear, Module
-from ..profiling.trace import (
-    GatherOp,
-    MatMulOp,
-    NeighborSearchOp,
-    ReduceMaxOp,
-    SampleOp,
-    SubtractOp,
-)
 from .tables import BatchedNeighborIndexTable, NeighborIndexTable, PointFeatureTable
 
 __all__ = [
@@ -129,13 +128,21 @@ class BatchModuleOutput:
 
 
 class PointCloudModule(Module):
-    """Executable module parameterized by a :class:`ModuleSpec`."""
+    """Executable module parameterized by a :class:`ModuleSpec`.
+
+    Both forward paths interpret the module's strategy-rewritten
+    operator graph; the graphs themselves are memoized per
+    (spec, strategy) by :func:`repro.graph.passes.module_graph`.
+    """
 
     def __init__(self, spec, batch_norm=False, rng=None):
         super().__init__()
         self.spec = spec
         self.mlp = SharedMLP(list(spec.mlp_dims), batch_norm=batch_norm, rng=rng)
         self._rng = rng or np.random.default_rng(0)
+        # Per-instance handle onto the shared (spec, strategy) graph
+        # memo: skips re-hashing the spec on every forward.
+        self._graphs = {}
 
     # -- shared steps -------------------------------------------------------
 
@@ -152,23 +159,20 @@ class PointCloudModule(Module):
             return np.arange(n_in)
         return np.linspace(0, n_in - 1, self.spec.n_out).astype(np.int64)
 
-    def _search(self, coords, features, centroid_idx):
-        if self.spec.search_space == "coords":
-            space = coords
-        else:
-            space = features.data
-        indices, _ = neighbor_search(space, space[centroid_idx], self.spec.k)
-        return NeighborIndexTable(indices, centroid_idx)
-
-    def _search_batch(self, coords, features, centroid_idx):
-        """(batch, n_out, k) neighbor indices, local to each cloud."""
-        batch, n_in = coords.shape[0], coords.shape[1]
-        if self.spec.search_space == "coords":
-            space = coords
-        else:
-            space = features.data.reshape(batch, n_in, self.spec.in_dim)
-        indices, _ = neighbor_search(space, space[:, centroid_idx], self.spec.k)
-        return BatchedNeighborIndexTable(indices, centroid_idx)
+    def graph(self, strategy="delayed"):
+        """This module's operator graph under ``strategy`` (memoized)."""
+        if strategy == "limited" and not isinstance(
+            next(iter(self.mlp.net.layers), None), Linear
+        ):
+            # Checked every call, not just on the memo miss: the MLP's
+            # layer list is mutable after construction.
+            raise TypeError("limited strategy requires a leading Linear layer")
+        cached = self._graphs.get(strategy)
+        if cached is None:
+            if strategy not in STRATEGIES:
+                raise ValueError(f"unknown strategy {strategy!r}")
+            cached = self._graphs[strategy] = module_graph(self.spec, strategy)
+        return cached
 
     # -- strategies -------------------------------------------------------
 
@@ -193,8 +197,7 @@ class PointCloudModule(Module):
 
         Returns a :class:`ModuleOutput`.
         """
-        if strategy not in STRATEGIES:
-            raise ValueError(f"unknown strategy {strategy!r}")
+        graph = self.graph(strategy)
         n_in = coords.shape[0]
         if features.shape != (n_in, self.spec.in_dim):
             raise ValueError(
@@ -203,21 +206,20 @@ class PointCloudModule(Module):
             )
         if trace is not None:
             emit_module_trace(self.spec, strategy, trace, n_in=n_in)
-
-        if centroid_idx is None:
-            centroid_idx = self._sample_centroids(n_in)
-        elif len(centroid_idx) != self.spec.n_out:
+        if centroid_idx is not None and len(centroid_idx) != self.spec.n_out:
             raise ValueError(
                 f"{self.spec.name}: expected {self.spec.n_out} centroids, "
                 f"got {len(centroid_idx)}"
             )
-        out_coords = coords[centroid_idx]
 
-        nit = self._search(coords, features, centroid_idx)
-        out_features, pft = self._aggregate(
-            strategy, features, nit.indices, centroid_idx
+        result = EagerExecutor().run(
+            graph, self, coords, features, centroid_idx=centroid_idx
         )
-        return ModuleOutput(out_coords, out_features, nit, pft)
+        out_coords = coords[result.centroid_idx]
+        nit = NeighborIndexTable(result.indices, result.centroid_idx)
+        pft = PointFeatureTable(result.pft_data) \
+            if result.pft_data is not None else None
+        return ModuleOutput(out_coords, result.features, nit, pft)
 
     def forward_batch(self, coords, features, strategy="delayed"):
         """Run the module over a batch of clouds at once.
@@ -232,176 +234,39 @@ class PointCloudModule(Module):
         strategy:
             One of :data:`STRATEGIES`.
 
-        The neighbor search runs batched (cloud-local indices), then the
-        indices are lifted into the flat row space so aggregation and
-        the shared MLP process the whole batch as one tall matrix — the
-        same arithmetic per row as the single-cloud path.
+        The batched executor runs the neighbor search batched
+        (cloud-local indices), lifts the indices into the flat row
+        space, and then every graph node processes the whole batch as
+        one tall matrix — the same arithmetic per row as the
+        single-cloud path.
 
         Returns a :class:`BatchModuleOutput`.
         """
-        if strategy not in STRATEGIES:
-            raise ValueError(f"unknown strategy {strategy!r}")
+        graph = self.graph(strategy)
         batch, n_in = coords.shape[0], coords.shape[1]
         if features.shape != (batch * n_in, self.spec.in_dim):
             raise ValueError(
                 f"{self.spec.name}: expected flat features "
                 f"{(batch * n_in, self.spec.in_dim)}, got {features.shape}"
             )
-        centroid_idx = self._sample_centroids(n_in)
-        out_coords = coords[:, centroid_idx]
-        nit = self._search_batch(coords, features, centroid_idx)
-        row_base = (np.arange(batch, dtype=np.int64) * n_in)[:, None]
-        flat_indices = (nit.indices + row_base[:, None]).reshape(
-            batch * len(centroid_idx), self.spec.k
-        )
-        flat_centroids = (centroid_idx[None, :] + row_base).reshape(-1)
-        out_features, pft = self._aggregate(
-            strategy, features, flat_indices, flat_centroids
-        )
-        return BatchModuleOutput(out_coords, out_features, nit, pft)
-
-    def _aggregate(self, strategy, features, indices, centroid_idx):
-        """Dispatch aggregation + feature computation over flat rows.
-
-        ``indices`` is (rows, k) and ``centroid_idx`` (rows,), both into
-        ``features``'s row space — per-cloud for the single path, offset
-        into the flat batch for the batched path.
-        """
-        if strategy == "original":
-            return self._aggregate_original(features, indices, centroid_idx)
-        if strategy == "delayed":
-            return self._aggregate_delayed(features, indices, centroid_idx)
-        return self._aggregate_limited(features, indices, centroid_idx)
-
-    def _aggregate_original(self, features, indices, centroid_idx):
-        k, m_in = self.spec.k, self.spec.in_dim
-        rows = len(centroid_idx)
-        gathered = features.gather(indices)  # (rows, k, m_in)
-        centroids = features.gather(centroid_idx).reshape(rows, 1, m_in)
-        offsets = (gathered - centroids).reshape(rows * k, m_in)
-        transformed = self.mlp(offsets).reshape(rows, k, self.spec.out_dim)
-        reduced = transformed.max(axis=1)
-        return reduced, None
-
-    def _aggregate_delayed(self, features, indices, centroid_idx):
-        # F over all input points (would run on the NPU, in parallel
-        # with N on the GPU).
-        pft_tensor = self.mlp(features)
-        pft = PointFeatureTable(pft_tensor.data)
-        # A: gather in feature space, reduce, then subtract the centroid
-        # feature (exact, because max distributes over subtraction).
-        gathered = pft_tensor.gather(indices)  # (rows, k, m_out)
-        reduced = gathered.max(axis=1)
-        out = reduced - pft_tensor.gather(centroid_idx)
-        return out, pft
-
-    def _aggregate_limited(self, features, indices, centroid_idx):
-        layers = self.mlp.net.layers
-        first = layers[0]
-        if not isinstance(first, Linear):
-            raise TypeError("limited strategy requires a leading Linear layer")
-        # Hoist only the first matrix-vector product; the bias cancels in
-        # the subtraction, so add it back afterwards to stay exact.
-        hoisted = features @ first.weight
-        k = self.spec.k
-        rows = len(centroid_idx)
-        hidden = hoisted.shape[-1]
-        gathered = hoisted.gather(indices)
-        centroids = hoisted.gather(centroid_idx).reshape(rows, 1, hidden)
-        offsets = (gathered - centroids).reshape(rows * k, hidden)
-        if first.bias is not None:
-            offsets = offsets + first.bias
-        out = offsets
-        for layer in layers[1:]:
-            out = layer(out)
-        transformed = out.reshape(rows, k, self.spec.out_dim)
-        reduced = transformed.max(axis=1)
-        return reduced, PointFeatureTable(hoisted.data)
+        result = BatchedExecutor().run(graph, self, coords, features)
+        out_coords = coords[:, result.centroid_idx]
+        nit = BatchedNeighborIndexTable(result.indices, result.centroid_idx)
+        pft = PointFeatureTable(result.pft_data) \
+            if result.pft_data is not None else None
+        return BatchModuleOutput(out_coords, result.features, nit, pft)
 
 
 def emit_module_trace(spec, strategy, trace, n_in=None):
     """Append the operator records for one module run to ``trace``.
 
-    This is purely analytic — it never touches point data — so it can be
-    evaluated at the paper's full input scale (e.g. 130K-point KITTI
-    frames) in microseconds.
+    A thin shim over :func:`repro.graph.lower.lower_module_trace`: the
+    records are lowered from the same strategy-rewritten graph the
+    executors run, so the analytics stay consistent with execution by
+    construction.  Purely analytic — it never touches point data — so
+    it can be evaluated at the paper's full input scale (e.g.
+    130K-point KITTI frames) in microseconds.
     """
     if strategy not in STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r}")
-    n_in = spec.n_in if n_in is None else n_in
-    n_out = spec.n_out if n_in == spec.n_in else min(spec.n_out, n_in)
-    k = spec.k
-    dims = spec.mlp_dims
-    name = spec.name
-
-    if n_out < n_in:
-        trace.add(SampleOp("O", name, n_points=n_in, n_samples=n_out))
-
-    if strategy == "original":
-        trace.add(
-            NeighborSearchOp(
-                "N", name, n_queries=n_out, n_points=n_in, k=k, dim=spec.search_dim
-            )
-        )
-        trace.add(
-            GatherOp(
-                "A", name,
-                n_centroids=n_out, k=k, feature_dim=dims[0], table_rows=n_in,
-            )
-        )
-        trace.add(SubtractOp("A", name, rows=n_out * k, dim=dims[0]))
-        for a, b in zip(dims[:-1], dims[1:]):
-            trace.add(MatMulOp("F", name, rows=n_out * k, in_dim=a, out_dim=b))
-        trace.add(
-            ReduceMaxOp("F", name, n_centroids=n_out, k=k, feature_dim=dims[-1])
-        )
-    elif strategy == "delayed":
-        for a, b in zip(dims[:-1], dims[1:]):
-            trace.add(
-                MatMulOp(
-                    "F", name, parallelizable=True, rows=n_in, in_dim=a, out_dim=b
-                )
-            )
-        trace.add(
-            NeighborSearchOp(
-                "N", name, parallelizable=True,
-                n_queries=n_out, n_points=n_in, k=k, dim=spec.search_dim,
-            )
-        )
-        trace.add(
-            GatherOp(
-                "A", name,
-                n_centroids=n_out, k=k, feature_dim=dims[-1], table_rows=n_in,
-            )
-        )
-        trace.add(
-            ReduceMaxOp("A", name, n_centroids=n_out, k=k, feature_dim=dims[-1])
-        )
-        trace.add(SubtractOp("A", name, rows=n_out, dim=dims[-1]))
-    else:  # limited
-        hidden = dims[1]
-        trace.add(
-            MatMulOp(
-                "F", name, parallelizable=True,
-                rows=n_in, in_dim=dims[0], out_dim=hidden,
-            )
-        )
-        trace.add(
-            NeighborSearchOp(
-                "N", name, parallelizable=True,
-                n_queries=n_out, n_points=n_in, k=k, dim=spec.search_dim,
-            )
-        )
-        trace.add(
-            GatherOp(
-                "A", name,
-                n_centroids=n_out, k=k, feature_dim=hidden, table_rows=n_in,
-            )
-        )
-        trace.add(SubtractOp("A", name, rows=n_out * k, dim=hidden))
-        for a, b in zip(dims[1:-1], dims[2:]):
-            trace.add(MatMulOp("F", name, rows=n_out * k, in_dim=a, out_dim=b))
-        trace.add(
-            ReduceMaxOp("F", name, n_centroids=n_out, k=k, feature_dim=dims[-1])
-        )
-    return trace
+    return lower_module_trace(spec, strategy, trace, n_in=n_in)

@@ -77,11 +77,16 @@ class NeighborIndexCache:
     # -- internals ----------------------------------------------------------
 
     @staticmethod
-    def _key(kind, points, queries, k, radius, substrate, dtype):
+    def _key(kind, points, queries, k, radius, substrate, dtype, tag=None):
+        # A graph search-node signature replaces the query digest: the
+        # queries are that node's deterministic centroid draw over the
+        # points, so (points digest, tag) already identifies them and
+        # hashing the derived array again would be pure overhead.
+        query_id = ("tag", tag) if tag is not None else content_digest(queries)
         return (
             kind,
             content_digest(points),
-            content_digest(queries),
+            query_id,
             int(k),
             float(radius) if radius is not None else None,
             substrate,
@@ -105,11 +110,12 @@ class NeighborIndexCache:
             self.evictions += 1
         return value
 
-    def _lookup_batch(self, kind, points, queries, params, compute):
+    def _lookup_batch(self, kind, points, queries, params, compute, tag=None):
         """Resolve a (B, ...) batch: cached clouds hit, misses batch-compute."""
         batch = points.shape[0]
         keys = [
-            self._key(kind, points[b], queries[b], *params) for b in range(batch)
+            self._key(kind, points[b], queries[b], *params, tag=tag)
+            for b in range(batch)
         ]
         results = [self._get(key) for key in keys]
         missing = [b for b in range(batch) if results[b] is None]
@@ -129,13 +135,18 @@ class NeighborIndexCache:
 
     # -- lookups ------------------------------------------------------------
 
-    def knn(self, points, queries, k, substrate="brute", dtype=None):
-        """Cached KNN; same shapes and semantics as :func:`raw_knn`."""
+    def knn(self, points, queries, k, substrate="brute", dtype=None, tag=None):
+        """Cached KNN; same shapes and semantics as :func:`raw_knn`.
+
+        ``tag`` is an optional graph search-node signature (see
+        :func:`repro.graph.build.search_signature`); when given, the
+        query array is not digested for the key.
+        """
         points = np.asarray(points)
         queries = np.asarray(queries)
         params = (k, None, substrate, dtype)
         if points.ndim == 2:
-            key = self._key("knn", points, queries, *params)
+            key = self._key("knn", points, queries, *params, tag=tag)
             entry = self._get(key)
             if entry is None:
                 entry = self._put(
@@ -147,7 +158,8 @@ class NeighborIndexCache:
             return raw_knn(miss_points, miss_queries, k, substrate=substrate,
                            dtype=dtype)
 
-        return self._lookup_batch("knn", points, queries, params, compute)
+        return self._lookup_batch("knn", points, queries, params, compute,
+                                  tag=tag)
 
     def ball(self, points, queries, radius, max_samples, dtype=None):
         """Cached ball query; same shapes and semantics as :func:`ball_query`."""

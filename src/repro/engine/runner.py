@@ -1,10 +1,12 @@
 """BatchRunner: drive a network over stacks of point clouds.
 
 This is the serving front door the ROADMAP's scaling work builds on: it
-stacks B clouds into a (B, N, 3) array, runs the whole stack through the
-network's batched forward (batched neighbor search + tall shared-MLP
-matrices) under inference mode, and scopes the substrate / cache / dtype
-choice over every search the forward issues.
+compiles the network's per-module operator graphs into an execution
+plan once (:func:`repro.graph.compile_network_plan`), stacks B clouds
+into a (B, N, 3) array, runs the whole stack through the batched graph
+executor (batched neighbor search + tall shared-MLP matrices) under
+inference mode, and scopes the substrate / cache / dtype choice over
+every search the plan issues.
 """
 
 from __future__ import annotations
@@ -15,6 +17,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core import STRATEGIES
+from ..graph import compile_network_plan
 from ..neighbors import search_context
 from ..neural import Tensor, no_grad
 
@@ -63,6 +66,19 @@ class BatchRunner:
         self.substrate = substrate
         self.cache = cache
         self.dtype = dtype
+        self._plan = None
+
+    @property
+    def plan(self):
+        """The compiled per-module graph plan this runner executes.
+
+        Compiled lazily and memoized; the underlying graphs are shared
+        with the forward passes (same (spec, strategy) memo), so this
+        is introspection over — not a copy of — what actually runs.
+        """
+        if self._plan is None:
+            self._plan = compile_network_plan(self.network, self.strategy)
+        return self._plan
 
     def _stack(self, clouds):
         batch = np.asarray(clouds, dtype=np.float64)
@@ -83,6 +99,12 @@ class BatchRunner:
     def _result(self, outputs, batch_size, seconds):
         if isinstance(outputs, Tensor):
             outputs = outputs.data
+        elif isinstance(outputs, dict):
+            # Detection networks return a dict of batched tensors.
+            outputs = {
+                key: value.data if isinstance(value, Tensor) else value
+                for key, value in outputs.items()
+            }
         return BatchResult(
             outputs,
             batch_size,

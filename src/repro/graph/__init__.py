@@ -1,0 +1,56 @@
+"""Operator-graph IR: one program, many consumers.
+
+The paper's delayed aggregation is a *program transform* — reorder the
+N/A/F operator stream and both the software speedup and the hardware
+co-design follow.  This package encodes that transform once: a module
+builds its operator graph in ``original`` form
+(:func:`~repro.graph.build.build_module_graph`), the ``delayed`` and
+``limited`` strategies are graph-rewrite passes
+(:mod:`~repro.graph.passes`), and the rewritten graph feeds every
+consumer — eager and batched executors
+(:mod:`~repro.graph.executors`), the profiling trace lowering
+(:mod:`~repro.graph.lower`), and the engine's execution plans
+(:mod:`~repro.graph.plan`).
+"""
+
+from .build import build_module_graph, search_signature
+from .executors import BatchedExecutor, EagerExecutor, ExecutionResult, OpRecorder
+from .ir import KINDS, Graph, Node, format_graph, resolve_dim, shape_env
+from .lower import lower_graph, lower_module_trace
+from .passes import (
+    PIPELINES,
+    dead_code_elimination,
+    delay_aggregation,
+    fuse_aggregation,
+    limit_delay,
+    module_graph,
+    run_pipeline,
+)
+from .plan import ModulePlan, NetworkPlan, compile_network_plan
+
+__all__ = [
+    "KINDS",
+    "Graph",
+    "Node",
+    "PIPELINES",
+    "BatchedExecutor",
+    "EagerExecutor",
+    "ExecutionResult",
+    "ModulePlan",
+    "NetworkPlan",
+    "OpRecorder",
+    "build_module_graph",
+    "compile_network_plan",
+    "dead_code_elimination",
+    "delay_aggregation",
+    "format_graph",
+    "fuse_aggregation",
+    "limit_delay",
+    "lower_graph",
+    "lower_module_trace",
+    "module_graph",
+    "resolve_dim",
+    "run_pipeline",
+    "search_signature",
+    "shape_env",
+]

@@ -1,0 +1,304 @@
+"""Pluggable executors: run a module graph over real point data.
+
+Two executors consume the same graphs:
+
+* :class:`EagerExecutor` — single-cloud numpy/autograd execution; this
+  is what :meth:`repro.core.module.PointCloudModule.forward` runs.
+* :class:`BatchedExecutor` — a stack of clouds at once: the neighbor
+  search runs batched, the resulting cloud-local indices are lifted
+  into the flat ``batch * n`` row space, and every downstream node then
+  processes the whole batch as one tall matrix — the same arithmetic
+  per row as the single-cloud path, which is why batched and single
+  outputs agree to machine precision.
+
+Executors dispatch per node kind; an optional :class:`OpRecorder`
+captures the shape of every logical operator actually executed (fused
+nodes record their constituents), which the trace/execution-consistency
+tests compare against the graph's lowered :class:`~repro.profiling.trace.Trace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..neighbors import neighbor_search
+from ..neural.layers import Linear
+
+__all__ = ["BatchedExecutor", "EagerExecutor", "ExecutionResult", "OpRecorder"]
+
+
+@dataclass
+class OpRecorder:
+    """Collects (kind, shape attributes) for every executed operator."""
+
+    records: list = field(default_factory=list)
+
+    def record(self, kind, **info):
+        self.records.append({"kind": kind, **info})
+
+    def by_kind(self, kind):
+        return [r for r in self.records if r["kind"] == kind]
+
+
+@dataclass
+class ExecutionResult:
+    """What a module graph run produces.
+
+    ``features`` is the module output tensor; ``indices`` the neighbor
+    index table (cloud-local, (n_out, k) single / (batch, n_out, k)
+    batched); ``centroid_idx`` the (cloud-local) sampled centroids;
+    ``pft_data`` the Point Feature Table rows when the strategy
+    produced one.
+    """
+
+    features: object
+    indices: np.ndarray
+    centroid_idx: np.ndarray
+    pft_data: np.ndarray = None
+
+
+def _mlp_segments(mlp):
+    """Split an MLP's layer list into per-Linear segments.
+
+    Segment ``i`` starts at the i-th Linear and runs up to (excluding)
+    the next one, so it carries the Linear plus its BatchNorm/ReLU tail.
+    Graph ``matmul`` node ``layer=i`` executes segment ``i``.
+    """
+    layers = list(mlp.net.layers)
+    starts = [i for i, layer in enumerate(layers) if isinstance(layer, Linear)]
+    if not starts:
+        raise TypeError("module MLP has no Linear layers to execute")
+    bounds = starts + [len(layers)]
+    return [layers[a:b] for a, b in zip(starts, bounds[1:])]
+
+
+class EagerExecutor:
+    """Single-cloud graph interpreter over the autograd tensors."""
+
+    def __init__(self, recorder=None):
+        self.recorder = recorder
+
+    # -- data plumbing (overridden by the batched executor) -----------------
+
+    def _n_in(self, coords):
+        return coords.shape[0]
+
+    def _sample(self, module, coords, centroid_idx):
+        """Cloud-local centroid ids plus their rows in the feature table."""
+        if centroid_idx is None:
+            centroid_idx = module._sample_centroids(self._n_in(coords))
+            derived = True
+        else:
+            derived = False
+        return centroid_idx, np.asarray(centroid_idx), derived
+
+    def _search(self, node, module, coords, features, centroid_idx, tag):
+        if node.attrs["space"] == "coords":
+            space = coords
+        else:
+            space = features.data
+        indices, _ = neighbor_search(
+            space, space[centroid_idx], module.spec.k, tag=tag
+        )
+        return indices, indices, space.shape[-1]
+
+    # -- driver ---------------------------------------------------------------
+
+    def run(self, graph, module, coords, features, centroid_idx=None):
+        """Execute ``graph`` for ``module`` over one cloud (or flat batch).
+
+        ``coords``/``features`` follow the module forward contract;
+        ``centroid_idx`` optionally pins externally-chosen centroids
+        (multi-scale grouping shares one set across branches).
+        """
+        segments = _mlp_segments(module.mlp)
+        env = {}
+        state = {
+            "centroid_local": None,  # cloud-local centroid ids
+            "centroid_rows": None,   # rows into the flat feature table
+            "derived_centroids": False,
+            "indices_local": None,   # cloud-local NIT indices
+            "indices_rows": None,    # row-space NIT indices
+            "pft": None,
+        }
+        for node in graph:
+            env[node.id] = self._exec_node(
+                node, env, module, coords, features, centroid_idx, segments,
+                state,
+            )
+        if len(graph.outputs) != 1:
+            raise ValueError("module graphs produce exactly one output")
+        return ExecutionResult(
+            env[graph.outputs[0]],
+            state["indices_local"],
+            np.asarray(state["centroid_local"]),
+            state["pft"],
+        )
+
+    # -- node dispatch -------------------------------------------------------
+
+    def _exec_node(self, node, env, module, coords, features, centroid_idx,
+                   segments, state):
+        kind = node.kind
+        if kind == "input":
+            return features
+        if kind == "sample":
+            local, rows, derived = self._sample(module, coords, centroid_idx)
+            state["centroid_local"] = local
+            state["centroid_rows"] = rows
+            state["derived_centroids"] = derived
+            if self.recorder is not None:
+                self.recorder.record("sample", n_points=self._n_in(coords),
+                             n_samples=len(np.atleast_1d(local)))
+            return local
+        if kind == "search":
+            # Cache keying by node signature is only sound when the
+            # queries are the node's own deterministic centroid draw.
+            tag = node.attrs.get("signature") if state["derived_centroids"] \
+                else None
+            local, rows, dim = self._search(
+                node, module, coords, features, state["centroid_local"], tag
+            )
+            state["indices_local"] = local
+            state["indices_rows"] = rows
+            if self.recorder is not None:
+                self.recorder.record("search", n_queries=local.shape[-2],
+                             n_points=self._n_in(coords), k=local.shape[-1],
+                             dim=dim)
+            return rows
+        if kind == "gather":
+            return self._gather(env[node.inputs[0]], state)
+        if kind == "subtract":
+            if node.attrs["mode"] == "pre":
+                return self._subtract_pre(
+                    env[node.inputs[0]], env[node.inputs[1]], state
+                )
+            return self._subtract_post(
+                env[node.inputs[0]], env[node.inputs[1]], state
+            )
+        if kind == "matmul":
+            return self._matmul(node, env[node.inputs[0]], segments, state)
+        if kind == "reduce_max":
+            return self._reduce_max(env[node.inputs[0]], state)
+        if kind == "aggregate":
+            source = env[node.inputs[0]]
+            gathered = self._gather(source, state)
+            if node.attrs["reduce"]:
+                reduced = self._reduce_max(gathered, state)
+                return self._subtract_post(reduced, source, state)
+            return self._subtract_pre(gathered, source, state)
+        if kind == "epilogue":
+            return self._epilogue(node, env[node.inputs[0]], segments)
+        if kind == "concat":
+            from ..neural import concat
+
+            return concat([env[i] for i in node.inputs],
+                          axis=node.attrs.get("axis", 1))
+        raise ValueError(f"executor cannot handle node kind {kind!r}")
+
+    # -- operator semantics (identical to the pre-IR strategy bodies) --------
+
+    def _gather(self, source, state):
+        indices = state["indices_rows"]
+        gathered = source.gather(indices)  # (rows, k, dim)
+        if self.recorder is not None:
+            self.recorder.record("gather", n_centroids=indices.shape[0],
+                         k=indices.shape[1], feature_dim=gathered.shape[-1],
+                         table_rows=source.shape[0])
+        return gathered
+
+    def _subtract_pre(self, gathered, source, state):
+        rows, k, dim = gathered.shape
+        centroids = source.gather(state["centroid_rows"]).reshape(rows, 1, dim)
+        offsets = (gathered - centroids).reshape(rows * k, dim)
+        if self.recorder is not None:
+            self.recorder.record("subtract", rows=rows * k, dim=dim)
+        return offsets
+
+    def _subtract_post(self, reduced, source, state):
+        out = reduced - source.gather(state["centroid_rows"])
+        if self.recorder is not None:
+            self.recorder.record("subtract", rows=out.shape[0], dim=out.shape[1])
+        return out
+
+    def _matmul(self, node, x, segments, state):
+        segment = segments[node.attrs["layer"]]
+        if node.attrs.get("weight_only"):
+            out = x @ segment[0].weight
+        else:
+            out = x
+            for layer in segment:
+                out = layer(out)
+        if self.recorder is not None:
+            self.recorder.record("matmul", rows=x.shape[0], in_dim=x.shape[1],
+                         out_dim=out.shape[1])
+        if node.attrs.get("pft"):
+            state["pft"] = out.data
+        return out
+
+    def _reduce_max(self, x, state):
+        if x.ndim == 2:
+            # Un-fused original/limited path: rows*k flat rows back to
+            # (rows, k, dim) before the neighborhood reduction.
+            k = state["indices_rows"].shape[1]
+            x = x.reshape(x.shape[0] // k, k, x.shape[1])
+        reduced = x.max(axis=1)
+        if self.recorder is not None:
+            self.recorder.record("reduce_max", n_centroids=x.shape[0], k=x.shape[1],
+                         feature_dim=x.shape[2])
+        return reduced
+
+    def _epilogue(self, node, x, segments):
+        segment = segments[node.attrs["layer"]]
+        linear = segment[0]
+        # The hoisted product ran weight-only: the bias cancels in the
+        # centroid subtraction, so it is re-added here — followed by the
+        # layer's activation tail — to stay exact.
+        if linear.bias is not None:
+            x = x + linear.bias
+        for layer in segment[1:]:
+            x = layer(x)
+        return x
+
+
+class BatchedExecutor(EagerExecutor):
+    """Flat-batch graph interpreter: one tall matrix per node.
+
+    ``coords`` is (batch, n_in, 3) and ``features`` the flat
+    (batch * n_in, m) tensor in cloud-major row order.  Only sampling
+    and search differ from the eager executor — every other node works
+    on flat rows unchanged.
+    """
+
+    def _n_in(self, coords):
+        return coords.shape[1]
+
+    def _row_base(self, coords):
+        batch, n_in = coords.shape[0], coords.shape[1]
+        return (np.arange(batch, dtype=np.int64) * n_in)[:, None]
+
+    def _sample(self, module, coords, centroid_idx):
+        if centroid_idx is None:
+            centroid_idx = module._sample_centroids(self._n_in(coords))
+            derived = True
+        else:
+            derived = False
+        rows = (np.asarray(centroid_idx)[None, :]
+                + self._row_base(coords)).reshape(-1)
+        return centroid_idx, rows, derived
+
+    def _search(self, node, module, coords, features, centroid_idx, tag):
+        batch, n_in = coords.shape[0], coords.shape[1]
+        if node.attrs["space"] == "coords":
+            space = coords
+        else:
+            space = features.data.reshape(batch, n_in, module.spec.in_dim)
+        indices, _ = neighbor_search(
+            space, space[:, centroid_idx], module.spec.k, tag=tag
+        )
+        rows = (indices + self._row_base(coords)[:, None]).reshape(
+            batch * indices.shape[1], indices.shape[2]
+        )
+        return indices, rows, space.shape[-1]

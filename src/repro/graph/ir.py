@@ -1,0 +1,197 @@
+"""The operator-graph IR.
+
+A :class:`Graph` is an ordered list of :class:`Node` records — the same
+operator taxonomy the profiling traces use (Sample / NeighborSearch /
+Gather / Subtract / MatMul / ReduceMax / Concat) plus the fused
+aggregation node the rewrite passes introduce.  Node attributes hold
+*symbolic* dimensions ("n_in", "n_out", "k", products like "n_out*k")
+so one graph serves every input scale and batch size; executors and the
+trace lowering bind them against a concrete :class:`ShapeEnv` at run
+time.
+
+The node list order is both the topological order and the emission
+order: executors evaluate nodes front to back, and the trace lowering
+appends operator records in the same sequence, which is what guarantees
+trace/execution consistency by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["KINDS", "Node", "Graph", "resolve_dim", "shape_env", "format_graph"]
+
+#: Node kinds understood by the executors and the trace lowering.
+KINDS = (
+    "input",       # graph input (the module's per-point feature table)
+    "sample",      # centroid sampling (O phase)
+    "search",      # neighbor search (N phase)
+    "gather",      # NIT-driven row gather (A phase)
+    "subtract",    # centroid subtraction, pre- or post-reduction (A phase)
+    "matmul",      # one shared-MLP layer (F phase)
+    "reduce_max",  # neighborhood max-reduction (A or F phase)
+    "aggregate",   # fused gather[+reduce_max]+subtract (A phase)
+    "epilogue",    # limited-variant bias + activation replay (no trace op)
+    "concat",      # feature concatenation (O phase)
+)
+
+
+@dataclass(frozen=True)
+class Node:
+    """One operator in the graph.
+
+    ``inputs`` are node ids; ``attrs`` hold the shape parameters, either
+    literal ints (MLP widths are static per spec) or symbolic dims
+    resolved by :func:`resolve_dim`.
+    """
+
+    id: int
+    kind: str
+    inputs: tuple = ()
+    attrs: dict = field(default_factory=dict)
+    phase: str = "O"
+    parallelizable: bool = False
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown node kind {self.kind!r}")
+        object.__setattr__(self, "inputs", tuple(self.inputs))
+        object.__setattr__(self, "attrs", dict(self.attrs))
+
+    def with_attrs(self, **updates):
+        attrs = dict(self.attrs)
+        attrs.update(updates)
+        return replace(self, attrs=attrs)
+
+
+def resolve_dim(value, env):
+    """Bind a symbolic dim against ``env``.
+
+    ``value`` may be an int (returned as-is), a symbol name present in
+    ``env``, or a ``*``-product of symbols/ints ("n_out*k").
+    """
+    if isinstance(value, (int,)):
+        return int(value)
+    if not isinstance(value, str):
+        raise TypeError(f"cannot resolve dim {value!r}")
+    out = 1
+    for factor in value.split("*"):
+        factor = factor.strip()
+        if factor.isdigit():
+            out *= int(factor)
+        elif factor in env:
+            out *= int(env[factor])
+        else:
+            raise KeyError(f"unbound symbolic dim {factor!r} (env has {sorted(env)})")
+    return out
+
+
+def shape_env(spec, n_in=None):
+    """The standard binding for a module graph.
+
+    When executed or traced at a different input scale than the spec
+    (KITTI frames vary per sweep), ``n_out`` clamps to ``n_in`` the same
+    way module execution does.
+    """
+    n_in = spec.n_in if n_in is None else int(n_in)
+    n_out = spec.n_out if n_in == spec.n_in else min(spec.n_out, n_in)
+    return {"n_in": n_in, "n_out": n_out, "k": spec.k}
+
+
+class Graph:
+    """An ordered operator graph with single-assignment node ids."""
+
+    def __init__(self, name="graph"):
+        self.name = name
+        self.nodes = []
+        self.outputs = ()
+        self._next_id = 0
+
+    def add(self, kind, inputs=(), attrs=None, phase="O", parallelizable=False):
+        node = Node(self._next_id, kind, tuple(inputs), attrs or {}, phase,
+                    parallelizable)
+        self._next_id += 1
+        self.nodes.append(node)
+        return node
+
+    def node(self, node_id):
+        for node in self.nodes:
+            if node.id == node_id:
+                return node
+        raise KeyError(f"no node with id {node_id}")
+
+    def find(self, kind):
+        """All nodes of one kind, in graph order."""
+        return [n for n in self.nodes if n.kind == kind]
+
+    def only(self, kind):
+        """The unique node of one kind (raises unless exactly one)."""
+        found = self.find(kind)
+        if len(found) != 1:
+            raise ValueError(f"expected exactly one {kind!r} node, got {len(found)}")
+        return found[0]
+
+    def consumers(self, node_id):
+        return [n for n in self.nodes if node_id in n.inputs]
+
+    def replace_nodes(self, nodes, outputs=None):
+        """Install a rewritten node list (and optionally new outputs)."""
+        ids = [n.id for n in nodes]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate node ids after rewrite")
+        self.nodes = list(nodes)
+        if outputs is not None:
+            self.outputs = tuple(outputs)
+        self._next_id = max(ids, default=-1) + 1
+        return self
+
+    def copy(self):
+        clone = Graph(self.name)
+        clone.nodes = list(self.nodes)
+        clone.outputs = tuple(self.outputs)
+        clone._next_id = self._next_id
+        return clone
+
+    def validate(self):
+        """Check topological order and output/input references."""
+        seen = set()
+        for node in self.nodes:
+            for parent in node.inputs:
+                if parent not in seen:
+                    raise ValueError(
+                        f"node {node.id} ({node.kind}) consumes {parent} "
+                        "before it is produced"
+                    )
+            seen.add(node.id)
+        for out in self.outputs:
+            if out not in seen:
+                raise ValueError(f"output {out} is not produced by any node")
+        return self
+
+    def __len__(self):
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+
+def format_graph(graph, env=None):
+    """Human-readable dump used by ``repro trace --graph``."""
+    lines = [f"graph {graph.name}: {len(graph)} nodes, outputs={list(graph.outputs)}"]
+    for node in graph:
+        attrs = []
+        for key, value in node.attrs.items():
+            if env is not None and isinstance(value, str) and key != "space" \
+                    and key != "signature" and key != "mode":
+                try:
+                    value = f"{value}={resolve_dim(value, env)}"
+                except (KeyError, TypeError):
+                    pass
+            attrs.append(f"{key}={value}")
+        deps = ",".join(str(i) for i in node.inputs)
+        flag = " ||" if node.parallelizable else ""
+        lines.append(
+            f"  %{node.id:<3d} [{node.phase}] {node.kind:<10s} "
+            f"({deps:<8s}) {' '.join(attrs)}{flag}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""Lower an operator graph to a profiling :class:`~repro.profiling.trace.Trace`.
+
+The lowering walks the graph's node list — the same order the executors
+evaluate — and appends one operator record per node (fused aggregation
+nodes re-expand into their gather / reduce-max / subtract constituents).
+Because analytics and execution both derive from the same graph, the
+trace the hardware models consume is consistent with the ops the
+executors run *by construction*; the old hand-maintained analytic
+emission survives only as the :func:`repro.core.module.emit_module_trace`
+shim over this function.
+"""
+
+from __future__ import annotations
+
+from ..profiling.trace import (
+    ConcatOp,
+    GatherOp,
+    MatMulOp,
+    NeighborSearchOp,
+    ReduceMaxOp,
+    SampleOp,
+    SubtractOp,
+)
+from .ir import resolve_dim, shape_env
+from .passes import module_graph
+
+__all__ = ["lower_graph", "lower_module_trace"]
+
+
+def lower_graph(graph, trace, env, name=None):
+    """Append ``graph``'s operator records to ``trace`` under ``env``."""
+    name = graph.name if name is None else name
+
+    def dim(value):
+        return resolve_dim(value, env)
+
+    for node in graph:
+        attrs = node.attrs
+        if node.kind == "sample":
+            if dim(attrs["n_samples"]) < dim(attrs["n_points"]):
+                trace.add(SampleOp(node.phase, name,
+                                   n_points=dim(attrs["n_points"]),
+                                   n_samples=dim(attrs["n_samples"])))
+        elif node.kind == "search":
+            trace.add(NeighborSearchOp(
+                node.phase, name, parallelizable=node.parallelizable,
+                n_queries=dim(attrs["n_queries"]),
+                n_points=dim(attrs["n_points"]),
+                k=dim(attrs["k"]), dim=dim(attrs["dim"]),
+            ))
+        elif node.kind == "gather":
+            trace.add(_gather_op(node.phase, name, attrs, dim))
+        elif node.kind == "subtract":
+            trace.add(SubtractOp(node.phase, name,
+                                 rows=dim(attrs["rows"]),
+                                 dim=dim(attrs["dim"])))
+        elif node.kind == "matmul":
+            trace.add(MatMulOp(
+                node.phase, name, parallelizable=node.parallelizable,
+                rows=dim(attrs["rows"]),
+                in_dim=dim(attrs["in_dim"]), out_dim=dim(attrs["out_dim"]),
+            ))
+        elif node.kind == "reduce_max":
+            trace.add(_reduce_op(node.phase, name, attrs, dim))
+        elif node.kind == "aggregate":
+            trace.add(_gather_op("A", name, attrs, dim))
+            if attrs["reduce"]:
+                trace.add(_reduce_op(attrs.get("reduce_phase", "A"), name,
+                                     attrs, dim))
+            trace.add(SubtractOp("A", name, rows=dim(attrs["rows"]),
+                                 dim=dim(attrs["dim"])))
+        elif node.kind == "concat":
+            trace.add(ConcatOp(node.phase, name, rows=dim(attrs["rows"]),
+                               dim=dim(attrs["dim"])))
+        elif node.kind in ("input", "epilogue"):
+            continue
+        else:
+            raise ValueError(f"cannot lower node kind {node.kind!r}")
+    return trace
+
+
+def _gather_op(phase, name, attrs, dim):
+    return GatherOp(phase, name,
+                    n_centroids=dim(attrs["n_centroids"]),
+                    k=dim(attrs["k"]),
+                    feature_dim=dim(attrs["feature_dim"]),
+                    table_rows=dim(attrs["table_rows"]))
+
+
+def _reduce_op(phase, name, attrs, dim):
+    return ReduceMaxOp(phase, name,
+                       n_centroids=dim(attrs["n_centroids"]),
+                       k=dim(attrs["k"]),
+                       feature_dim=dim(attrs["feature_dim"]))
+
+
+def lower_module_trace(spec, strategy, trace, n_in=None):
+    """Lower one module spec's graph under ``strategy`` into ``trace``.
+
+    Purely analytic — never touches point data — so paper-scale inputs
+    (130K-point KITTI frames) lower in microseconds.
+    """
+    graph = module_graph(spec, strategy)
+    env = shape_env(spec, n_in=n_in)
+    return lower_graph(graph, trace, env, name=spec.name)

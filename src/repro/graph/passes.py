@@ -1,0 +1,225 @@
+"""Graph-rewrite passes: the paper's program transforms, as passes.
+
+Delayed aggregation (§IV) is a reordering of the N/A/F operator stream:
+hoist the shared MLP past aggregation, exploiting that max-reduction
+distributes exactly over subtracting the centroid row
+(``max_k(p_k - p_i) == max_k(p_k) - p_i``; the identity
+:func:`repro.core.equivalence.max_subtract_gap` verifies numerically).
+The limited (GNN-style, §VII-C) variant hoists only the first
+matrix-vector product, which is exactly linear.  Here both are
+implemented as rewrites over the original-order graph, so execution,
+batching, trace analytics and the hardware models all consume the same
+transformed program instead of three hand-maintained copies.
+
+Passes are ``graph -> graph`` callables; :data:`PIPELINES` names the
+pass list per strategy and :func:`module_graph` memoizes the result per
+(spec, strategy).
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import replace
+
+from .build import build_module_graph
+from .ir import Node
+
+__all__ = [
+    "PIPELINES",
+    "dead_code_elimination",
+    "delay_aggregation",
+    "fuse_aggregation",
+    "limit_delay",
+    "module_graph",
+    "run_pipeline",
+]
+
+
+def _original_pattern(graph):
+    """The (input, sample, search, gather, subtract, matmuls, reduce)
+    skeleton every original-order module graph has."""
+    return (
+        graph.only("input"),
+        graph.only("sample"),
+        graph.only("search"),
+        graph.only("gather"),
+        graph.only("subtract"),
+        graph.find("matmul"),
+        graph.only("reduce_max"),
+    )
+
+
+def delay_aggregation(graph):
+    """Rewrite ``F(A(N(p), p))`` into ``A(F(N(p)), F(p))`` (Fig 8).
+
+    The whole MLP chain is hoisted before the gather: it now runs over
+    the ``n_in`` input points (and is marked parallelizable — it can
+    overlap the neighbor search on a different engine).  Aggregation
+    becomes gather → reduce-max → subtract: the centroid feature is
+    subtracted *after* the reduction, which is exact by the max-subtract
+    identity.  The final MLP output is the Point Feature Table.
+    """
+    graph = graph.copy()
+    inp, smp, srch, gth, sub, matmuls, rm = _original_pattern(graph)
+    if sub.attrs.get("mode") != "pre":
+        raise ValueError("delay_aggregation expects an original-order graph")
+    out_dim = matmuls[-1].attrs["out_dim"]
+
+    hoisted = []
+    prev = inp
+    for mm in matmuls:
+        mm = replace(mm, inputs=(prev.id,), parallelizable=True)
+        mm = mm.with_attrs(rows="n_in")
+        hoisted.append(mm)
+        prev = mm
+    hoisted[-1] = hoisted[-1].with_attrs(pft=True)
+
+    srch = replace(srch, parallelizable=True)
+    gth = replace(gth, inputs=(hoisted[-1].id, srch.id))
+    gth = gth.with_attrs(feature_dim=out_dim)
+    rm = replace(rm, inputs=(gth.id,), phase="A")
+    rm = rm.with_attrs(feature_dim=out_dim)
+    sub = replace(sub, inputs=(rm.id, hoisted[-1].id, smp.id))
+    sub = sub.with_attrs(rows="n_out", dim=out_dim, mode="post")
+
+    return graph.replace_nodes(
+        [inp, smp, *hoisted, srch, gth, rm, sub], outputs=(sub.id,)
+    ).validate()
+
+
+def limit_delay(graph):
+    """Hoist only the first matrix-vector product (the GNN variant).
+
+    The first Linear's weight multiply is exactly distributive over the
+    centroid subtraction; its bias cancels in the subtraction, so an
+    ``epilogue`` node re-adds it (and replays the layer's activation)
+    after aggregation before the remaining layers run over the
+    ``n_out*k`` aggregated rows.  The hoisted product's output is the
+    (narrow) Point Feature Table.
+    """
+    graph = graph.copy()
+    inp, smp, srch, gth, sub, matmuls, rm = _original_pattern(graph)
+    if sub.attrs.get("mode") != "pre":
+        raise ValueError("limit_delay expects an original-order graph")
+    hidden = matmuls[0].attrs["out_dim"]
+
+    first = replace(matmuls[0], inputs=(inp.id,), parallelizable=True)
+    first = first.with_attrs(rows="n_in", weight_only=True, pft=True)
+    srch = replace(srch, parallelizable=True)
+    gth = replace(gth, inputs=(first.id, srch.id))
+    gth = gth.with_attrs(feature_dim=hidden)
+    sub = replace(sub, inputs=(gth.id, first.id, smp.id))
+    sub = sub.with_attrs(dim=hidden)
+
+    fresh = max(n.id for n in graph) + 1
+    epilogue = Node(fresh, "epilogue", (sub.id,), {"layer": 0}, phase="F")
+
+    rest = []
+    prev = epilogue
+    for mm in matmuls[1:]:
+        mm = replace(mm, inputs=(prev.id,))
+        rest.append(mm)
+        prev = mm
+    rm = replace(rm, inputs=(prev.id,))
+
+    return graph.replace_nodes(
+        [inp, smp, first, srch, gth, sub, epilogue, *rest, rm],
+        outputs=(rm.id,),
+    ).validate()
+
+
+def fuse_aggregation(graph):
+    """Fuse gather [+ reduce-max] + subtract into one aggregation node.
+
+    This is the granularity the hardware aggregation unit (Fig 13-15)
+    consumes — one NIT-driven pass over the point feature table — and it
+    saves the executors two dispatches per module.  The fused node
+    remembers its constituents, so trace lowering re-expands it and the
+    emitted operator records are unchanged.
+    """
+    graph = graph.copy()
+    fused = []
+    skip = set()
+    for node in list(graph.nodes):
+        if node.id in skip:
+            continue
+        if node.kind == "gather":
+            consumers = graph.consumers(node.id)
+            if len(consumers) == 1 and consumers[0].kind == "subtract" \
+                    and consumers[0].attrs.get("mode") == "pre":
+                sub = consumers[0]
+                agg = Node(
+                    sub.id, "aggregate",
+                    (node.inputs[0], node.inputs[1], sub.inputs[2]),
+                    {**node.attrs, "reduce": False,
+                     "rows": sub.attrs["rows"], "dim": sub.attrs["dim"]},
+                    phase="A",
+                )
+                fused.append(agg)
+                skip.add(sub.id)
+                continue
+            if len(consumers) == 1 and consumers[0].kind == "reduce_max":
+                rm = consumers[0]
+                rm_consumers = graph.consumers(rm.id)
+                if len(rm_consumers) == 1 and rm_consumers[0].kind == "subtract" \
+                        and rm_consumers[0].attrs.get("mode") == "post":
+                    sub = rm_consumers[0]
+                    agg = Node(
+                        sub.id, "aggregate",
+                        (node.inputs[0], node.inputs[1], sub.inputs[2]),
+                        {**node.attrs, "reduce": True,
+                         "reduce_phase": rm.phase,
+                         "rows": sub.attrs["rows"], "dim": sub.attrs["dim"]},
+                        phase="A",
+                    )
+                    fused.append(agg)
+                    skip.update((rm.id, sub.id))
+                    continue
+        fused.append(node)
+
+    # The fused node reuses the pattern's *last* id, so downstream input
+    # references (e.g. the matmul chain after an original-order fuse)
+    # remain valid without rewiring.
+    return graph.replace_nodes(fused, outputs=graph.outputs).validate()
+
+
+def dead_code_elimination(graph):
+    """Drop nodes with no path to the graph outputs."""
+    graph = graph.copy()
+    by_id = {n.id: n for n in graph}
+    live = set()
+    frontier = list(graph.outputs)
+    while frontier:
+        node_id = frontier.pop()
+        if node_id in live:
+            continue
+        live.add(node_id)
+        frontier.extend(by_id[node_id].inputs)
+    return graph.replace_nodes(
+        [n for n in graph if n.id in live], outputs=graph.outputs
+    ).validate()
+
+
+#: Pass pipeline per strategy.  ``original`` is the built form plus the
+#: standard cleanup; ``delayed``/``limited`` apply their rewrite first.
+PIPELINES = {
+    "original": (fuse_aggregation, dead_code_elimination),
+    "delayed": (delay_aggregation, fuse_aggregation, dead_code_elimination),
+    "limited": (limit_delay, fuse_aggregation, dead_code_elimination),
+}
+
+
+def run_pipeline(graph, strategy):
+    if strategy not in PIPELINES:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; expected one of {tuple(PIPELINES)}"
+        )
+    for pipeline_pass in PIPELINES[strategy]:
+        graph = pipeline_pass(graph)
+    return graph
+
+
+@functools.lru_cache(maxsize=512)
+def module_graph(spec, strategy):
+    """The (memoized) lowered graph of one module spec under a strategy."""
+    return run_pipeline(build_module_graph(spec), strategy)

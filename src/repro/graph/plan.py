@@ -1,0 +1,72 @@
+"""Network execution plans: the plan/execute split the engine serves.
+
+A plan is the per-module sequence of strategy-rewritten graphs a
+network will execute.  The :class:`~repro.engine.runner.BatchRunner`
+compiles one up front and executes it batch after batch; scaling work
+(sharding, async scheduling, multi-backend executors) schedules plan
+entries rather than re-deriving strategies per request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .ir import format_graph, shape_env
+from .passes import module_graph
+
+__all__ = ["ModulePlan", "NetworkPlan", "compile_network_plan"]
+
+
+@dataclass(frozen=True)
+class ModulePlan:
+    """One module's compiled graph plus its spec."""
+
+    name: str
+    spec: object
+    graph: object
+
+    @property
+    def node_count(self):
+        return len(self.graph)
+
+
+@dataclass(frozen=True)
+class NetworkPlan:
+    """Ordered module plans for one network under one strategy."""
+
+    network: str
+    strategy: str
+    entries: tuple
+
+    def __len__(self):
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    @property
+    def node_count(self):
+        return sum(entry.node_count for entry in self.entries)
+
+    def describe(self):
+        lines = [
+            f"plan {self.network} [{self.strategy}]: "
+            f"{len(self.entries)} modules, {self.node_count} nodes"
+        ]
+        for entry in self.entries:
+            lines.append(format_graph(entry.graph, env=shape_env(entry.spec)))
+        return "\n".join(lines)
+
+
+def compile_network_plan(network, strategy="delayed"):
+    """Compile every encoder (and box-stage) module of ``network``.
+
+    Graphs are memoized per (spec, strategy), so repeated compilation
+    is free; the plan object itself is cheap metadata.
+    """
+    modules = list(network.encoder) + list(getattr(network, "box_encoder", []))
+    entries = tuple(
+        ModulePlan(m.spec.name, m.spec, module_graph(m.spec, strategy))
+        for m in modules
+    )
+    return NetworkPlan(network.name, strategy, entries)

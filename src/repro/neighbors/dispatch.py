@@ -174,16 +174,23 @@ def raw_knn(points, queries, k, substrate="brute", dtype=None):
     return out_i, out_d
 
 
-def neighbor_search(points, queries, k, substrate=None, cache=None, dtype=None):
+def neighbor_search(points, queries, k, substrate=None, cache=None, dtype=None,
+                    tag=None):
     """KNN through the active :func:`search_context`.
 
     Explicit arguments override the context; with neither, this is the
     plain vectorized brute-force search the library always used.
+    ``tag`` optionally names the issuing graph search node: when a cache
+    is active it keys the entry on (points digest, tag) instead of
+    digesting the derived query array — sound whenever the queries are a
+    deterministic function of the points, as a module's centroid draw
+    is.  Without a cache the tag is ignored.
     """
     options = _option_stack()[-1]
     substrate = substrate if substrate is not None else options["substrate"]
     cache = cache if cache is not None else options["cache"]
     dtype = dtype if dtype is not None else options["dtype"]
     if cache is not None:
-        return cache.knn(points, queries, k, substrate=substrate, dtype=dtype)
+        return cache.knn(points, queries, k, substrate=substrate, dtype=dtype,
+                         tag=tag)
     return raw_knn(points, queries, k, substrate=substrate, dtype=dtype)

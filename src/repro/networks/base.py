@@ -6,11 +6,18 @@ segmentation, fully-connected heads for classification/regression).
 
 Networks run in two modes:
 
-* **execute** — real numpy/autograd forward over a point cloud, used by
+* **execute** — real numpy/autograd forward over point clouds, used by
   the accuracy experiments (Fig 16) at reduced scale;
 * **trace** — analytic emission of the operator sequence at the paper's
   full input scale, consumed by the profiling analytics and the
   hardware models (Figs 4-22).
+
+Since the operator-graph IR landed, every network defines its forward
+*once* against a :class:`NetworkExecution` context.  The context binds
+the body to either the single-cloud eager executor or the flat-batch
+executor, so ``forward`` and ``forward_batch`` share one body and every
+registered network — including DensePoint, LDGCNN and F-PointNet —
+gets batched inference through the generic graph executor for free.
 """
 
 from __future__ import annotations
@@ -28,7 +35,13 @@ from ..profiling.trace import (
     Trace,
 )
 
-__all__ = ["PointCloudNetwork", "FeaturePropagation", "FCHead", "scale_spec"]
+__all__ = [
+    "FCHead",
+    "FeaturePropagation",
+    "NetworkExecution",
+    "PointCloudNetwork",
+    "scale_spec",
+]
 
 
 def scale_spec(spec, factor):
@@ -51,6 +64,103 @@ def scale_spec(spec, factor):
     return ModuleSpec(
         spec.name, n_in, n_out, k, spec.mlp_dims, search_space=spec.search_space
     )
+
+
+class NetworkExecution:
+    """Binds a network body to the single-cloud or batched executor.
+
+    ``batch is None`` means one cloud: modules run through the eager
+    graph executor and per-cloud reductions see exactly one cloud.
+    With a batch size, modules run through the batched executor over
+    flat ``batch * n`` feature rows, and the helpers below perform the
+    per-cloud reshapes — the *only* places where single and batched
+    execution differ.
+    """
+
+    def __init__(self, network, batch=None):
+        self.network = network
+        self.batch = batch
+
+    @property
+    def batched(self):
+        return self.batch is not None
+
+    @property
+    def nclouds(self):
+        return 1 if self.batch is None else self.batch
+
+    # -- module driving ----------------------------------------------------
+
+    def run_module(self, module, coords, feats, strategy, trace=None):
+        """One module forward; returns its (Batch)ModuleOutput."""
+        if self.batched:
+            return module.forward_batch(coords, feats, strategy=strategy)
+        return module(coords, feats, strategy=strategy, trace=trace)
+
+    def run_encoder(self, modules, coords, feats, strategy, trace=None,
+                    keep_intermediates=False):
+        """Drive an encoder stack; optionally keep per-level outputs."""
+        intermediates = [(coords, feats)]
+        for module in modules:
+            out = self.run_module(module, coords, feats, strategy, trace)
+            coords, feats = out.coords, out.features
+            intermediates.append((coords, feats))
+        if keep_intermediates:
+            return coords, feats, intermediates
+        return coords, feats
+
+    def propagate(self, fp, fine_coords, fine_feats, coarse_coords,
+                  coarse_feats):
+        """One feature-propagation (decoder) step."""
+        if self.batched:
+            return fp.forward_batch(
+                fine_coords, fine_feats, coarse_coords, coarse_feats
+            )
+        return fp(fine_coords, fine_feats, coarse_coords, coarse_feats)
+
+    # -- per-cloud reshapes -------------------------------------------------
+
+    def features_from_coords(self, coords):
+        """Flat feature rows seeding a stage from raw coordinates."""
+        if self.batched:
+            return Tensor(coords.reshape(-1, coords.shape[-1]).copy())
+        return Tensor(coords.copy())
+
+    def global_max(self, feats):
+        """Per-cloud global max over flat rows: (nclouds, C)."""
+        rows = feats.shape[0] // self.nclouds
+        return feats.reshape(self.nclouds, rows, feats.shape[1]).max(axis=1)
+
+    def broadcast(self, pooled, rows_per_cloud):
+        """Repeat each cloud's (1, C) row to its ``rows_per_cloud`` rows."""
+        idx = np.repeat(np.arange(self.nclouds), rows_per_cloud)
+        return pooled.gather(idx)
+
+    def rows_per_cloud(self, feats):
+        return feats.shape[0] // self.nclouds
+
+    def per_point(self, logits):
+        """Final per-point output: (n, C) single, (batch, n, C) batched."""
+        if not self.batched:
+            return logits
+        rows = logits.shape[0] // self.batch
+        return logits.reshape(self.batch, rows, logits.shape[1])
+
+    def select_top_coords(self, coords, scores, n_select):
+        """Per-cloud top-``n_select`` points by score, mean-centered.
+
+        F-PointNet's mask-to-box handoff: rank points by mask score,
+        keep the best ``n_select`` per cloud and shift them to their
+        centroid (the original's mask-centroid shift).
+        """
+        if not self.batched:
+            order = np.argsort(-scores, kind="stable")[:n_select]
+            selected = coords[order]
+            return selected - selected.mean(axis=0, keepdims=True)
+        per_cloud = scores.reshape(self.batch, -1)
+        order = np.argsort(-per_cloud, axis=1, kind="stable")[:, :n_select]
+        selected = np.take_along_axis(coords, order[:, :, None], axis=1)
+        return selected - selected.mean(axis=1, keepdims=True)
 
 
 class FCHead(Module):
@@ -149,7 +259,9 @@ class PointCloudNetwork(Module):
     """Common driver for the benchmark networks.
 
     Subclasses define ``self.encoder`` (a list of PointCloudModules)
-    and implement :meth:`_forward_tail` / :meth:`_emit_tail_trace`.
+    and implement a single :meth:`_forward_body` against the
+    :class:`NetworkExecution` context — the same body serves the
+    single-cloud and the batched forward — plus :meth:`_emit_trace`.
     """
 
     #: Short name used in figures, e.g. "PointNet++ (c)".
@@ -186,22 +298,19 @@ class PointCloudNetwork(Module):
                 f"{self.name} expects {(self.n_points, 3)} coords, "
                 f"got {coords.shape}"
             )
-        feats = Tensor(coords.copy())
-        return self._forward_body(coords, feats, strategy, trace)
-
-    def _forward_body(self, coords, feats, strategy, trace):
-        raise NotImplementedError
-
-    # -- batched execution ---------------------------------------------------
+        ctx = NetworkExecution(self)
+        feats = ctx.features_from_coords(coords)
+        return self._forward_body(ctx, coords, feats, strategy, trace)
 
     def forward_batch(self, coords, strategy="delayed"):
         """Run the network over a (batch, n_points, 3) stack of clouds.
 
         Classification networks return a (batch, num_classes) Tensor,
-        segmentation networks (batch, n_points, num_classes).  Networks
-        with a dedicated batched body drive the whole stack through
-        batched neighbor search and tall shared-MLP matrices; the rest
-        fall back to a per-cloud loop behind the same API.
+        segmentation networks (batch, n_points, num_classes), detection
+        networks a dict of batched tensors.  The same body as
+        :meth:`forward` runs, bound to the batched graph executor: the
+        whole stack goes through batched neighbor search and tall
+        shared-MLP matrices.
         """
         coords = np.asarray(coords, dtype=np.float64)
         if coords.ndim == 2:
@@ -211,16 +320,12 @@ class PointCloudNetwork(Module):
                 f"{self.name} expects (batch, {self.n_points}, 3) coords, "
                 f"got {coords.shape}"
             )
-        feats = Tensor(coords.reshape(-1, 3).copy())
-        return self._forward_batch_body(coords, feats, strategy)
+        ctx = NetworkExecution(self, batch=coords.shape[0])
+        feats = ctx.features_from_coords(coords)
+        return self._forward_body(ctx, coords, feats, strategy, None)
 
-    def _forward_batch_body(self, coords, feats, strategy):
-        """Fallback batched body: loop the single-cloud forward per cloud."""
-        outputs = [
-            self.forward(coords[b], strategy=strategy)
-            for b in range(coords.shape[0])
-        ]
-        return self.stack_outputs(outputs)
+    def _forward_body(self, ctx, coords, feats, strategy, trace):
+        raise NotImplementedError
 
     @staticmethod
     def stack_outputs(outputs):
@@ -249,32 +354,6 @@ class PointCloudNetwork(Module):
         raise NotImplementedError
 
     # -- shared helpers -------------------------------------------------------
-
-    def _run_encoder(self, coords, feats, strategy, trace, keep_intermediates=False):
-        intermediates = [(coords, feats)]
-        for module in self.encoder:
-            out = module(coords, feats, strategy=strategy, trace=trace)
-            coords, feats = out.coords, out.features
-            intermediates.append((coords, feats))
-        if keep_intermediates:
-            return coords, feats, intermediates
-        return coords, feats
-
-    def _run_encoder_batch(self, coords, feats, strategy, keep_intermediates=False):
-        """Drive the encoder stack batch-at-a-time.
-
-        ``coords`` is (batch, n, 3); ``feats`` a flat (batch * n, m)
-        Tensor.  Mirrors :meth:`_run_encoder` with the batched module
-        path.
-        """
-        intermediates = [(coords, feats)]
-        for module in self.encoder:
-            out = module.forward_batch(coords, feats, strategy=strategy)
-            coords, feats = out.coords, out.features
-            intermediates.append((coords, feats))
-        if keep_intermediates:
-            return coords, feats, intermediates
-        return coords, feats
 
     def _emit_encoder_trace(self, trace, strategy):
         for module in self.encoder:

@@ -65,20 +65,21 @@ class DensePoint(PointCloudNetwork):
         self.num_classes = num_classes
         self.head = FCHead([512, 256, 128, num_classes], rng=rng)
 
-    def _forward_body(self, coords, feats, strategy, trace):
+    def _forward_body(self, ctx, coords, feats, strategy, trace):
         block = []  # features accumulated in the current dense block
         for module, dense in zip(self.encoder, self._dense_flags):
             if block:
                 module_in = block[0] if len(block) == 1 else concat(block, axis=1)
             else:
                 module_in = feats
-            out = module(coords, module_in, strategy=strategy, trace=trace)
+            out = ctx.run_module(module, coords, module_in, strategy, trace)
             coords = out.coords
             feats = out.features
             # A pooling module starts a fresh block; a dense module
             # extends the running concatenation.
             block = block + [feats] if dense else [feats]
-        logits = self.head(feats)  # feats is the (1, 512) global vector
+        # feats is each cloud's (1, 512) global vector — (nclouds, 512) flat.
+        logits = self.head(feats)
         if trace is not None:
             self.head.emit_trace(trace, rows=1)
         return logits

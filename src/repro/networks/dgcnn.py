@@ -63,31 +63,19 @@ class DGCNNClassification(PointCloudNetwork):
         self.embed = SharedMLP([skip_dim, 1024], rng=rng)
         self.head = FCHead([1024, 512, 256, num_classes], rng=rng)
 
-    def _forward_body(self, coords, feats, strategy, trace):
+    def _forward_body(self, ctx, coords, feats, strategy, trace):
         skips = []
         for module in self.encoder:
-            out = module(coords, feats, strategy=strategy, trace=trace)
+            out = ctx.run_module(module, coords, feats, strategy, trace)
             feats = out.features
             skips.append(feats)
-        stacked = concat(skips, axis=1)  # (n, 512)
-        embedded = self.embed(stacked)   # (n, 1024)
-        pooled = embedded.max(axis=0, keepdims=True)  # (1, 1024)
+        stacked = concat(skips, axis=1)  # (nclouds * n, 512)
+        embedded = self.embed(stacked)   # (nclouds * n, 1024)
+        pooled = ctx.global_max(embedded)  # (nclouds, 1024)
         logits = self.head(pooled)
         if trace is not None:
             self._emit_tail(trace)
         return logits
-
-    def _forward_batch_body(self, coords, feats, strategy):
-        skips = []
-        for module in self.encoder:
-            out = module.forward_batch(coords, feats, strategy=strategy)
-            feats = out.features
-            skips.append(feats)
-        stacked = concat(skips, axis=1)  # (batch * n, 512)
-        embedded = self.embed(stacked)   # (batch * n, 1024)
-        batch, n = coords.shape[0], coords.shape[1]
-        pooled = embedded.reshape(batch, n, embedded.shape[1]).max(axis=1)
-        return self.head(pooled)  # (batch, num_classes)
 
     def _emit_tail(self, trace):
         n = self.n_points
@@ -124,37 +112,22 @@ class DGCNNSegmentation(PointCloudNetwork):
         self.embed = SharedMLP([skip_dim, 1024], rng=rng)
         self.head = FCHead([1024 + skip_dim, 256, 256, 128, num_classes], rng=rng)
 
-    def _forward_body(self, coords, feats, strategy, trace):
+    def _forward_body(self, ctx, coords, feats, strategy, trace):
         skips = []
         for module in self.encoder:
-            out = module(coords, feats, strategy=strategy, trace=trace)
+            out = ctx.run_module(module, coords, feats, strategy, trace)
             feats = out.features
             skips.append(feats)
-        stacked = concat(skips, axis=1)  # (n, 192)
+        stacked = concat(skips, axis=1)  # (nclouds * n, 192)
         embedded = self.embed(stacked)
-        pooled = embedded.max(axis=0, keepdims=True)  # (1, 1024)
-        n = stacked.shape[0]
-        broadcast = pooled.gather(np.zeros(n, dtype=np.int64))  # (n, 1024)
+        pooled = ctx.global_max(embedded)  # (nclouds, 1024)
+        n = ctx.rows_per_cloud(stacked)
+        broadcast = ctx.broadcast(pooled, n)  # (nclouds * n, 1024)
         fused = concat([broadcast, stacked], axis=1)
-        logits = self.head(fused)  # (n, num_classes)
+        logits = self.head(fused)  # (nclouds * n, num_classes)
         if trace is not None:
             self._emit_tail(trace)
-        return logits
-
-    def _forward_batch_body(self, coords, feats, strategy):
-        skips = []
-        for module in self.encoder:
-            out = module.forward_batch(coords, feats, strategy=strategy)
-            feats = out.features
-            skips.append(feats)
-        stacked = concat(skips, axis=1)  # (batch * n, 192)
-        embedded = self.embed(stacked)
-        batch, n = coords.shape[0], coords.shape[1]
-        pooled = embedded.reshape(batch, n, embedded.shape[1]).max(axis=1)
-        broadcast = pooled.gather(np.repeat(np.arange(batch), n))  # (batch * n, 1024)
-        fused = concat([broadcast, stacked], axis=1)
-        logits = self.head(fused)
-        return logits.reshape(batch, n, self.num_classes)
+        return ctx.per_point(logits)
 
     def _emit_tail(self, trace):
         n = self.n_points

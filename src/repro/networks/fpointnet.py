@@ -15,7 +15,6 @@ from __future__ import annotations
 import numpy as np
 
 from ..core import ModuleSpec, PointCloudModule
-from ..neural import Tensor
 from .base import FCHead, FeaturePropagation, PointCloudNetwork, scale_spec
 
 __all__ = ["FPointNet"]
@@ -61,34 +60,32 @@ class FPointNet(PointCloudNetwork):
         self.box_head = FCHead([512, 256, BOX_DIM + num_classes], rng=rng)
         self._box_n_in = box_specs[0].n_in
 
-    def _forward_body(self, coords, feats, strategy, trace):
+    def _forward_body(self, ctx, coords, feats, strategy, trace):
         # Stage 1: instance segmentation over the frustum.
-        _, _, levels = self._run_encoder(
-            coords, feats, strategy, trace, keep_intermediates=True
+        _, _, levels = ctx.run_encoder(
+            self.encoder, coords, feats, strategy, trace, keep_intermediates=True
         )
         (c0, f0), (c1, f1), (c2, f2), (c3, f3) = levels
-        up2 = self.fp3(c2, f2, c3, f3)
-        up1 = self.fp2(c1, f1, c2, up2)
-        up0 = self.fp1(c0, f0, c1, up1)
-        mask_logits = self.mask_head(up0)  # (n_points, 2)
+        up2 = ctx.propagate(self.fp3, c2, f2, c3, f3)
+        up1 = ctx.propagate(self.fp2, c1, f1, c2, up2)
+        up0 = ctx.propagate(self.fp1, c0, f0, c1, up1)
+        mask_logits = self.mask_head(up0)  # (nclouds * n_points, 2)
 
         # Stage 2: box estimation over the points ranked most likely to
         # be on the object (differentiable selection is avoided, as in
         # the original: the mask stage is trained with its own loss).
         scores = mask_logits.data[:, 1] - mask_logits.data[:, 0]
-        order = np.argsort(-scores, kind="stable")[: self._box_n_in]
-        box_coords = coords[order]
-        # Center the selected points (the original's mask-centroid shift).
-        box_coords = box_coords - box_coords.mean(axis=0, keepdims=True)
-        box_feats = Tensor(box_coords.copy())
+        # Per-cloud top ranking plus the mask-centroid shift.
+        box_coords = ctx.select_top_coords(coords, scores, self._box_n_in)
+        box_feats = ctx.features_from_coords(box_coords)
         for module in self.box_encoder:
-            out = module(box_coords, box_feats, strategy=strategy, trace=trace)
+            out = ctx.run_module(module, box_coords, box_feats, strategy, trace)
             box_coords, box_feats = out.coords, out.features
-        box_out = self.box_head(box_feats)  # (1, BOX_DIM + classes)
+        box_out = self.box_head(box_feats)  # (nclouds, BOX_DIM + classes)
 
         if trace is not None:
             self._emit_tail(trace)
-        return {"mask_logits": mask_logits, "box": box_out}
+        return {"mask_logits": ctx.per_point(mask_logits), "box": box_out}
 
     def _emit_tail(self, trace):
         seg_specs = [m.spec for m in self.encoder]

@@ -91,13 +91,16 @@ class GenericPointCloudNetwork(PointCloudNetwork):
         self.paper_n_points = specs[0].n_in
         self.head = FCHead(list(head_dims), rng=rng)
 
-    def _forward_body(self, coords, feats, strategy, trace):
-        coords, feats = self._run_encoder(coords, feats, strategy, trace)
-        if self.task == "classification" and feats.shape[0] > 1:
-            feats = feats.max(axis=0, keepdims=True)
+    def _forward_body(self, ctx, coords, feats, strategy, trace):
+        coords, feats = ctx.run_encoder(self.encoder, coords, feats, strategy,
+                                        trace)
+        if self.task == "classification" and ctx.rows_per_cloud(feats) > 1:
+            feats = ctx.global_max(feats)
         logits = self.head(feats)
         if trace is not None:
             self._emit_tail(trace)
+        if self.task == "segmentation":
+            return ctx.per_point(logits)
         return logits
 
     def _emit_tail(self, trace):

@@ -55,15 +55,15 @@ class LDGCNN(PointCloudNetwork):
         self.embed = SharedMLP([link_dim, 1024], rng=rng)
         self.head = FCHead([1024, 512, 256, num_classes], rng=rng)
 
-    def _forward_body(self, coords, feats, strategy, trace):
+    def _forward_body(self, ctx, coords, feats, strategy, trace):
         links = [feats]  # raw coordinates
         for module in self.encoder:
             module_in = links[0] if len(links) == 1 else concat(links, axis=1)
-            out = module(coords, module_in, strategy=strategy, trace=trace)
+            out = ctx.run_module(module, coords, module_in, strategy, trace)
             links.append(out.features)
         fused = concat(links, axis=1)
         embedded = self.embed(fused)
-        pooled = embedded.max(axis=0, keepdims=True)
+        pooled = ctx.global_max(embedded)  # (nclouds, 1024)
         logits = self.head(pooled)
         if trace is not None:
             self._emit_tail(trace)

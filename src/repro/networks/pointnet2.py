@@ -47,18 +47,14 @@ class PointNet2Classification(PointCloudNetwork):
         self.num_classes = num_classes
         self.head = FCHead([1024, 512, 256, num_classes], dropout=dropout, rng=rng)
 
-    def _forward_body(self, coords, feats, strategy, trace):
-        _, feats = self._run_encoder(coords, feats, strategy, trace)
-        logits = self.head(feats)  # (1, num_classes)
+    def _forward_body(self, ctx, coords, feats, strategy, trace):
+        # sa3 reduces every cloud to one centroid, so the flat encoder
+        # output is (nclouds, 1024) and the head batches for free.
+        _, feats = ctx.run_encoder(self.encoder, coords, feats, strategy, trace)
+        logits = self.head(feats)  # (nclouds, num_classes)
         if trace is not None:
             self.head.emit_trace(trace, rows=1)
         return logits
-
-    def _forward_batch_body(self, coords, feats, strategy):
-        # sa3 reduces every cloud to one centroid, so the flat encoder
-        # output is already (batch, 1024) and the head batches for free.
-        _, feats = self._run_encoder_batch(coords, feats, strategy)
-        return self.head(feats)  # (batch, num_classes)
 
     def _emit_trace(self, trace, strategy):
         self._emit_encoder_trace(trace, strategy)
@@ -87,33 +83,21 @@ class PointNet2Segmentation(PointCloudNetwork):
         self.fp1 = FeaturePropagation("fp1", n[0], (128 + 3, 128, 128, 128), rng=rng)
         self.head = FCHead([128, 128, num_classes], rng=rng)
 
-    def _forward_body(self, coords, feats, strategy, trace):
-        _, _, levels = self._run_encoder(
-            coords, feats, strategy, trace, keep_intermediates=True
+    def _forward_body(self, ctx, coords, feats, strategy, trace):
+        _, _, levels = ctx.run_encoder(
+            self.encoder, coords, feats, strategy, trace, keep_intermediates=True
         )
         (c0, f0), (c1, f1), (c2, f2), (c3, f3) = levels
-        up2 = self.fp3(c2, f2, c3, f3)
-        up1 = self.fp2(c1, f1, c2, up2)
-        up0 = self.fp1(c0, f0, c1, up1)
-        logits = self.head(up0)  # (n_points, num_classes)
+        up2 = ctx.propagate(self.fp3, c2, f2, c3, f3)
+        up1 = ctx.propagate(self.fp2, c1, f1, c2, up2)
+        up0 = ctx.propagate(self.fp1, c0, f0, c1, up1)
+        logits = self.head(up0)  # (nclouds * n_points, num_classes)
         if trace is not None:
             self.fp3.emit_trace(trace, n_coarse=len(c3))
             self.fp2.emit_trace(trace, n_coarse=len(c2))
             self.fp1.emit_trace(trace, n_coarse=len(c1))
             self.head.emit_trace(trace, rows=len(c0))
-        return logits
-
-    def _forward_batch_body(self, coords, feats, strategy):
-        _, _, levels = self._run_encoder_batch(
-            coords, feats, strategy, keep_intermediates=True
-        )
-        (c0, f0), (c1, f1), (c2, f2), (c3, f3) = levels
-        up2 = self.fp3.forward_batch(c2, f2, c3, f3)
-        up1 = self.fp2.forward_batch(c1, f1, c2, up2)
-        up0 = self.fp1.forward_batch(c0, f0, c1, up1)
-        logits = self.head(up0)  # (batch * n_points, num_classes)
-        batch, n_points = coords.shape[0], coords.shape[1]
-        return logits.reshape(batch, n_points, self.num_classes)
+        return ctx.per_point(logits)
 
     def _emit_trace(self, trace, strategy):
         self._emit_encoder_trace(trace, strategy)

@@ -295,3 +295,22 @@ class Trace:
             for op in self.ops
             if isinstance(op, MatMulOp) and op.phase == "F"
         ]
+
+    def phase_summary(self):
+        """Per-phase rollup: op count, MACs, bytes read/written.
+
+        The ``repro trace`` CLI prints this table; it is also a handy
+        one-look sanity check that a strategy rewrite moved work between
+        phases the way the paper says it should.
+        """
+        summary = {
+            phase: {"ops": 0, "macs": 0, "bytes_read": 0, "bytes_written": 0}
+            for phase in PHASES
+        }
+        for op in self.ops:
+            row = summary[op.phase]
+            row["ops"] += 1
+            row["macs"] += op.macs
+            row["bytes_read"] += op.bytes_read
+            row["bytes_written"] += op.bytes_written
+        return summary

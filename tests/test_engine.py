@@ -285,9 +285,10 @@ class TestBatchRunner:
             single = net.forward(clouds[b])
             np.testing.assert_allclose(batched.outputs[b], single.data, atol=1e-6)
 
-    def test_fallback_loop_networks(self):
-        # Networks without a dedicated batched body go through the
-        # per-cloud fallback behind the same API.
+    def test_graph_executor_networks(self):
+        # Networks without a hand-written batched body (pre-IR these
+        # fell back to a per-cloud loop) batch through the generic
+        # graph executor behind the same API.
         net = build_network("LDGCNN", num_classes=4, scale=0.0625)
         clouds = random_clouds(2, net.n_points, seed=42)
         batched = BatchRunner(net).run(clouds)
