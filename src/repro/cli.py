@@ -42,14 +42,20 @@ def _cmd_networks(_args):
 
 
 def _cmd_trace(args):
-    from .graph import compile_network_plan
+    from .graph import compile_network_plan, schedule_graph
     from .networks import build_network
 
     net = build_network(args.network)
     trace = net.trace(args.strategy)
     print(f"{net.name} [{args.strategy}] — {len(trace)} ops, "
           f"{trace.mlp_macs() / 1e6:.1f} M MLP MACs")
-    if args.graph:
+    if args.schedule:
+        # The N/F-lane overlap schedules the async scheduler executes:
+        # steps with both lanes run neighbor search concurrently with
+        # the hoisted MLP chain.
+        for entry in compile_network_plan(net, args.strategy):
+            print(schedule_graph(entry.graph).describe())
+    elif args.graph:
         # The strategy-rewritten operator graphs the executors run and
         # the trace below is lowered from.
         print(compile_network_plan(net, args.strategy).describe())
@@ -149,6 +155,12 @@ def _cmd_bench(args):
           f"eager   {graph['eager_ms']:8.2f} ms   "
           f"overhead {graph['overhead_ratio']:.3f}x   "
           f"batched {graph['batched_clouds_per_s']:.0f} clouds/s")
+    sched = results["sched"]
+    print(f"  sched    serial {sched['serial_ms']:6.2f} ms   "
+          f"async   {sched['async_ms']:8.2f} ms   "
+          f"speedup {sched['speedup_async']:.2f}x   "
+          f"bit-exact {'yes' if sched['bit_exact'] else 'NO'}   "
+          f"({sched['workers']} worker(s))")
     write_json(results, args.output)
     print(f"wrote {args.output}")
     return 0
@@ -170,6 +182,9 @@ def build_parser():
     p_trace.add_argument("--graph", action="store_true",
                          help="print the lowered operator graphs instead "
                               "of the flat op list")
+    p_trace.add_argument("--schedule", action="store_true",
+                         help="print the N/F-lane overlap schedules the "
+                              "async scheduler executes")
 
     p_sim = sub.add_parser("simulate", help="simulate a network on an SoC")
     p_sim.add_argument("network")

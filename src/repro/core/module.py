@@ -177,7 +177,7 @@ class PointCloudModule(Module):
     # -- strategies -------------------------------------------------------
 
     def forward(self, coords, features, strategy="delayed", trace=None,
-                centroid_idx=None):
+                centroid_idx=None, executor=None):
         """Run the module.
 
         Parameters
@@ -194,6 +194,12 @@ class PointCloudModule(Module):
             Optional externally-chosen centroid indices (length n_out).
             Multi-scale grouping passes the same set to every scale
             branch; by default the module samples its own.
+        executor:
+            Optional single-cloud graph executor (anything with the
+            :class:`~repro.graph.executors.EagerExecutor` ``run``
+            contract).  The engine's async scheduler passes its
+            N/F-overlap executor here; the default is a fresh
+            :class:`EagerExecutor`.
 
         Returns a :class:`ModuleOutput`.
         """
@@ -212,7 +218,9 @@ class PointCloudModule(Module):
                 f"got {len(centroid_idx)}"
             )
 
-        result = EagerExecutor().run(
+        if executor is None:
+            executor = EagerExecutor()
+        result = executor.run(
             graph, self, coords, features, centroid_idx=centroid_idx
         )
         out_coords = coords[result.centroid_idx]

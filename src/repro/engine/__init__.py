@@ -2,21 +2,27 @@
 
 The serving layer over the reproduction: stack B clouds into (B, N, 3)
 arrays and drive the full forward pass batch-at-a-time
-(:class:`BatchRunner`), skip repeated neighbor searches with a
-content-keyed LRU (:class:`NeighborIndexCache`), and fan irregular
-per-cloud work across cores (:class:`ParallelRunner`).  ``repro bench``
-exercises all three and records the throughput trajectory in
-``BENCH_engine.json``.
+(:class:`BatchRunner`), overlap neighbor search with feature
+computation while pipelining multiple clouds in flight
+(:class:`AsyncRunner`), skip repeated neighbor searches with a
+content-keyed single-flight LRU (:class:`NeighborIndexCache`), and fan
+irregular per-cloud work across cores (:class:`ParallelRunner`).
+``repro bench`` exercises all of them and records the throughput
+trajectory in ``BENCH_engine.json``.
 """
 
 from .bench import run_benchmarks, write_json
 from .cache import NeighborIndexCache, content_digest
 from .parallel import ParallelRunner, kdtree_nit_task, soc_latency_task
 from .runner import BatchResult, BatchRunner
+from .scheduler import AsyncRunner, OverlapExecutor, async_forward_task
 
 __all__ = [
+    "AsyncRunner",
     "BatchRunner",
     "BatchResult",
+    "OverlapExecutor",
+    "async_forward_task",
     "NeighborIndexCache",
     "content_digest",
     "ParallelRunner",

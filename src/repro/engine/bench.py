@@ -23,6 +23,7 @@ from ..neural import Tensor, no_grad
 from .cache import NeighborIndexCache
 from .parallel import ParallelRunner, kdtree_nit_task
 from .runner import BatchRunner
+from .scheduler import AsyncRunner
 
 __all__ = ["run_benchmarks", "write_json"]
 
@@ -315,6 +316,64 @@ def bench_graph(network="PointNet++ (c)", batch=16, scale=0.125,
     }
 
 
+def bench_sched(network="PointNet++ (c)", batch=16, scale=0.5,
+                strategy="delayed", repeats=2, seed=0):
+    """Async N/F-overlap scheduler vs the serial graph executor.
+
+    Both sides run the identical per-cloud eager graph arithmetic over
+    the same batched workload; the async side overlaps each module's
+    neighbor search with its hoisted MLP chain and pipelines multiple
+    clouds in flight, so any speedup is pure concurrency and scales
+    with cores (~1x is expected on a single-core host).  The default
+    scale is larger than the other network rows because overlap only
+    pays once the numpy kernels are big enough to release the GIL for
+    most of their runtime.  Bit-exactness of the async outputs against
+    the serial executor is part of the row (CI gates on it).
+    """
+    net = build_network(network, scale=scale)
+    rng = np.random.default_rng(seed)
+    clouds = rng.normal(size=(batch, net.n_points, 3))
+
+    with AsyncRunner(net, strategy=strategy) as runner:
+        serial = runner.run_sequential(clouds)
+        overlapped = runner.run(clouds)
+        exact = _outputs_equal(overlapped.outputs, serial.outputs)
+
+        serial_ms = _best_ms(lambda: runner.run_sequential(clouds), repeats)
+        async_ms = _best_ms(lambda: runner.run(clouds), repeats)
+    return {
+        "workload": {
+            "network": network,
+            "strategy": strategy,
+            "batch": batch,
+            "n_points": net.n_points,
+            "scale": scale,
+        },
+        "baseline": "serial per-cloud eager graph executor",
+        "workers": runner.max_workers,
+        "in_flight": runner.in_flight,
+        "serial_ms": serial_ms,
+        "async_ms": async_ms,
+        "speedup_async": serial_ms / async_ms,
+        "bit_exact": exact,
+    }
+
+
+def _outputs_equal(left, right):
+    """Exact equality across the output shapes the networks return."""
+    if isinstance(left, dict):
+        return set(left) == set(right) and all(
+            _outputs_equal(left[key], right[key]) for key in left
+        )
+    if isinstance(left, (list, tuple)):
+        return len(left) == len(right) and all(
+            _outputs_equal(a, b) for a, b in zip(left, right)
+        )
+    left = left.data if hasattr(left, "data") else left
+    right = right.data if hasattr(right, "data") else right
+    return bool(np.array_equal(np.asarray(left), np.asarray(right)))
+
+
 def bench_parallel(n_clouds=8, n_points=512, k=16, repeats=1, seed=0):
     """k-d tree NIT builds (unbatchable) serial vs multi-core processes."""
     rng = np.random.default_rng(seed)
@@ -385,6 +444,15 @@ def run_benchmarks(batch=16, n_points=1024, k=16, network="PointNet++ (c)",
             strategy=strategy,
             repeats=repeats,
         ),
+        "sched": bench_sched(
+            network=network,
+            batch=batch,
+            # Overlap needs GIL-releasing kernel sizes; keep the sched
+            # workload at half paper scale unless benching even larger.
+            scale=scale if quick else max(scale, 0.5),
+            strategy=strategy,
+            repeats=max(1, repeats - 1),
+        ),
         "parallel": bench_parallel(
             n_clouds=max(2, batch // 2), n_points=max(128, n_points // 2), k=k
         ),
@@ -397,6 +465,7 @@ def run_benchmarks(batch=16, n_points=1024, k=16, network="PointNet++ (c)",
 
 
 def write_json(results, path):
+    """Write a benchmark result dict to ``path`` as sorted, indented JSON."""
     with open(path, "w") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)
         handle.write("\n")

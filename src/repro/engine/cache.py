@@ -12,11 +12,18 @@ Plug an instance into :func:`repro.neighbors.search_context` (or a
 it.  Batched lookups resolve per cloud: hits are served from the table,
 and only the missing clouds are recomputed, together, through the
 batched substrate kernel.
+
+The cache is thread-safe, and single-cloud lookups are *single-flight*:
+when the async scheduler has several identical searches in flight
+concurrently (the same cloud pipelined on different workers), exactly
+one thread computes while the rest wait and then hit — concurrent
+duplicates never duplicate the index build.
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -49,30 +56,40 @@ class NeighborIndexCache:
             raise ValueError("maxsize must be positive")
         self.maxsize = int(maxsize)
         self._entries = OrderedDict()
+        self._lock = threading.RLock()
+        # Single-flight bookkeeping: key -> Event set once the owning
+        # thread has installed (or abandoned) the entry.
+        self._pending = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self):
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self):
-        self._entries.clear()
+        """Drop every entry (in-flight computations still complete)."""
+        with self._lock:
+            self._entries.clear()
 
     @property
     def hit_rate(self):
+        """Fraction of lookups served from the cache (0.0 when unused)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
     def stats(self):
-        return {
-            "size": len(self._entries),
-            "maxsize": self.maxsize,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": self.hit_rate,
-        }
+        """Hits / misses / evictions / size counters, as a dict."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hit_rate,
+            }
 
     # -- internals ----------------------------------------------------------
 
@@ -94,20 +111,52 @@ class NeighborIndexCache:
         )
 
     def _get(self, key):
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def _put(self, key, value):
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return value
+
+    def _single(self, key, compute):
+        """Single-flight lookup: concurrent duplicates compute once.
+
+        The first thread to miss becomes the owner and computes; every
+        other thread arriving with the same key waits on the owner's
+        event and then hits the installed entry.  If the owner's
+        compute raises, its waiters retry and one of them takes over.
+        """
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    return entry
+                waiter = self._pending.get(key)
+                if waiter is None:
+                    self._pending[key] = threading.Event()
+                    self.misses += 1
+                    break
+            waiter.wait()
+        try:
+            value = self._put(key, compute())
+        finally:
+            with self._lock:
+                event = self._pending.pop(key, None)
+            if event is not None:
+                event.set()
         return value
 
     def _lookup_batch(self, kind, points, queries, params, compute, tag=None):
@@ -147,12 +196,11 @@ class NeighborIndexCache:
         params = (k, None, substrate, dtype)
         if points.ndim == 2:
             key = self._key("knn", points, queries, *params, tag=tag)
-            entry = self._get(key)
-            if entry is None:
-                entry = self._put(
-                    key, raw_knn(points, queries, k, substrate=substrate, dtype=dtype)
-                )
-            return entry
+            return self._single(
+                key,
+                lambda: raw_knn(points, queries, k, substrate=substrate,
+                                dtype=dtype),
+            )
 
         def compute(miss_points, miss_queries):
             return raw_knn(miss_points, miss_queries, k, substrate=substrate,
@@ -168,12 +216,11 @@ class NeighborIndexCache:
         params = (max_samples, radius, "brute", dtype)
         if points.ndim == 2:
             key = self._key("ball", points, queries, *params)
-            entry = self._get(key)
-            if entry is None:
-                entry = self._put(
-                    key, ball_query(points, queries, radius, max_samples, dtype=dtype)
-                )
-            return entry
+            return self._single(
+                key,
+                lambda: ball_query(points, queries, radius, max_samples,
+                                   dtype=dtype),
+            )
 
         def compute(miss_points, miss_queries):
             return ball_query(miss_points, miss_queries, radius, max_samples,

@@ -35,6 +35,7 @@ class BatchResult:
 
     @property
     def clouds_per_second(self):
+        """Throughput of the run (infinite for an unmeasurably short one)."""
         return self.batch_size / self.seconds if self.seconds > 0 else float("inf")
 
 

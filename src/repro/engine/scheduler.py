@@ -1,0 +1,293 @@
+"""Async N/F-overlap scheduler: execute NetworkPlan entries concurrently.
+
+The serial executors walk a module graph front to back, so the
+neighbor search finishes before the first hoisted MLP layer starts —
+even though delayed aggregation makes the two independent.  This module
+turns the operator-graph IR into an actual concurrency substrate:
+
+* :class:`OverlapExecutor` executes one module graph dependency-first
+  through the IR's :class:`~repro.graph.ir.Frontier`.  N-lane nodes
+  (the sample→search chain, per :func:`~repro.graph.schedule.node_lane`)
+  are submitted to a worker pool while F-lane nodes (the hoisted MLP
+  chain) run inline on the scheduling thread, so neighbor search and
+  feature computation overlap per module — the paper's N/F overlap
+  (§V), in software.
+* :class:`AsyncRunner` serves batches with the same API as
+  :class:`~repro.engine.runner.BatchRunner` but pipelines multiple
+  clouds in flight: each cloud walks the full network (every
+  ``NetworkPlan`` entry plus heads/decoders) on its own worker, so
+  cloud *i*'s module-2 search runs while cloud *j*'s module-1 MLP
+  computes.
+
+Every node executes the exact same arithmetic as
+:class:`~repro.graph.executors.EagerExecutor` — the scheduler only
+changes *when* nodes run, never what they compute — so async outputs
+are bit-exact matches of the serial eager forward (CI-gated).
+
+Thread pools suit the default brute-force substrate because its hot
+kernels (distance matmuls, ``argpartition``, tall shared-MLP products)
+release the GIL; for CPU-bound substrates whose per-cloud sweeps hold
+the GIL (pure-python k-d tree or grid walks), ``backend="process"``
+fans whole-cloud forwards over the existing
+:class:`~repro.engine.parallel.ParallelRunner` process pool instead.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+
+from ..graph.executors import EagerExecutor
+from ..graph.schedule import node_lane
+from ..neighbors import active_search_options, search_context
+from ..neural import no_grad
+from .parallel import ParallelRunner
+from .runner import BatchRunner
+
+__all__ = ["AsyncRunner", "OverlapExecutor", "async_forward_task"]
+
+_BACKENDS = ("thread", "process", "serial")
+
+
+class OverlapExecutor(EagerExecutor):
+    """Dependency-driven single-cloud executor with N/F overlap.
+
+    Drop-in for :class:`~repro.graph.executors.EagerExecutor` (same
+    ``run`` contract, same per-node arithmetic — outputs are
+    bit-identical).  Instead of walking the node list serially it walks
+    the graph's dependency frontier: every ready N-lane node is
+    submitted to ``pool`` while ready F-lane nodes execute inline, so a
+    delayed-aggregation graph runs its neighbor search concurrently
+    with its hoisted MLP chain.
+
+    Parameters
+    ----------
+    pool:
+        A ``ThreadPoolExecutor`` the N-lane nodes are submitted to.
+        ``None`` executes everything inline (dependency-ordered serial
+        execution — useful for property tests and as the degenerate
+        single-worker mode).
+    recorder:
+        Optional :class:`~repro.graph.executors.OpRecorder`.  With a
+        live pool, records arrive in completion order, not graph order.
+    observer:
+        Optional callable ``observer(event, node)`` invoked with
+        ``("start", node)`` / ``("finish", node)`` around every node.
+        Worker threads invoke it concurrently; the dependency-order
+        property tests hang a thread-safe log on it.
+    """
+
+    def __init__(self, pool=None, recorder=None, observer=None):
+        super().__init__(recorder)
+        self.pool = pool
+        self.observer = observer
+
+    def run(self, graph, module, coords, features, centroid_idx=None):
+        """Execute ``graph`` dependency-first; see :class:`EagerExecutor`."""
+        segments, env, state = self._init_run(module)
+        # Search options are thread-local: capture the scheduler
+        # thread's scope and re-enter it around pooled nodes so a
+        # worker-thread search still sees the engine's substrate,
+        # cache and dtype choice.
+        options = active_search_options()
+
+        def execute(node):
+            if self.observer is not None:
+                self.observer("start", node)
+            value = self._exec_node(
+                node, env, module, coords, features, centroid_idx, segments,
+                state,
+            )
+            if self.observer is not None:
+                self.observer("finish", node)
+            return value
+
+        def execute_pooled(node):
+            with search_context(**options):
+                return execute(node)
+
+        frontier = graph.frontier()
+        inline = deque()
+        in_flight = {}
+        while not frontier.done:
+            for node in frontier.take():
+                if self.pool is not None and node_lane(node) == "N":
+                    in_flight[self.pool.submit(execute_pooled, node)] = node
+                else:
+                    inline.append(node)
+            finished = [f for f in in_flight if f.done()]
+            if inline:
+                node = inline.popleft()
+                env[node.id] = execute(node)
+                frontier.complete(node.id)
+            elif in_flight and not finished:
+                finished = list(
+                    wait(in_flight, return_when=FIRST_COMPLETED).done
+                )
+            elif not finished:
+                raise RuntimeError(
+                    f"scheduler stalled on {graph.name}: no ready nodes "
+                    "and nothing in flight (cyclic or disconnected graph)"
+                )
+            for future in finished:
+                node = in_flight.pop(future)
+                env[node.id] = future.result()
+                frontier.complete(node.id)
+        return self._finish(graph, env, state)
+
+
+def async_forward_task(args):
+    """(network, cloud, strategy, substrate, dtype) -> one forward output.
+
+    Module-level so the ``spawn`` start method can pickle it; used by
+    :class:`AsyncRunner`'s process backend.  The search context and
+    inference mode are (re-)entered inside the worker process.
+    """
+    network, cloud, strategy, substrate, dtype = args
+    with no_grad(), search_context(substrate=substrate, dtype=dtype):
+        return network.forward(cloud, strategy=strategy)
+
+
+class AsyncRunner(BatchRunner):
+    """Overlapped serving runner — same API and config as BatchRunner.
+
+    :meth:`run` pipelines up to ``in_flight`` clouds concurrently, each
+    executing its full network forward through an
+    :class:`OverlapExecutor` (per-module N/F overlap on a shared search
+    pool).  Outputs are bit-exact matches of the serial per-cloud eager
+    loop (:meth:`run_sequential`, inherited — the baseline the ``sched``
+    bench row measures against); speedup comes purely from concurrency
+    and therefore scales with cores.
+
+    The thread backend's worker pools are created lazily and reused
+    across :meth:`run` calls, so a serving loop pays thread
+    construction once, not per batch; call :meth:`close` (or use the
+    runner as a context manager) to release them.  The process backend
+    spawns its pool (and re-pickles the network) per batch — the
+    ROADMAP's persistent-worker-pool item covers amortizing that.
+
+    Parameters
+    ----------
+    network, strategy, substrate, cache, dtype:
+        As for :class:`~repro.engine.runner.BatchRunner`.  The cache is
+        shared across all in-flight clouds; its single-flight lookups
+        guarantee concurrent identical searches compute once.
+    max_workers:
+        Size of the N-lane search pool (default: CPU count).
+    in_flight:
+        How many clouds pipeline concurrently (default: ``max_workers``).
+    backend:
+        ``"thread"`` (default) overlaps via threads — right for the
+        brute substrate whose kernels release the GIL.  ``"process"``
+        fans whole-cloud forwards over a
+        :class:`~repro.engine.parallel.ParallelRunner` process pool —
+        right for CPU-bound substrates (pure-python kdtree/grid sweeps);
+        the runner cache is not consulted there, since worker processes
+        cannot share it.  ``"serial"`` runs the dependency-ordered
+        executor without any pool (debugging / property tests).
+    """
+
+    def __init__(self, network, strategy="delayed", substrate="brute",
+                 cache=None, dtype=None, max_workers=None, in_flight=None,
+                 backend="thread"):
+        super().__init__(network, strategy=strategy, substrate=substrate,
+                         cache=cache, dtype=dtype)
+        if backend not in _BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {_BACKENDS}"
+            )
+        self.backend = backend
+        if max_workers is None:
+            max_workers = os.cpu_count() or 1
+        if int(max_workers) <= 0:
+            raise ValueError("max_workers must be positive")
+        self.max_workers = int(max_workers)
+        if in_flight is None:
+            in_flight = self.max_workers
+        if int(in_flight) <= 0:
+            raise ValueError("in_flight must be positive")
+        self.in_flight = int(in_flight)
+        self._search_pool = None
+        self._cloud_pool = None
+
+    def run(self, clouds):
+        """Overlapped inference over ``clouds`` (list or (B, N, 3) array)."""
+        batch = self._stack(clouds)
+        start = time.perf_counter()
+        if self.backend == "process":
+            outputs = self._run_processes(batch)
+        elif self.backend == "serial" or (
+            self.max_workers == 1 and self.in_flight == 1
+        ):
+            # One worker cannot overlap anything: skip the pools and
+            # run the dependency-ordered executor inline.
+            outputs = self._run_serial_frontier(batch)
+        else:
+            outputs = self._run_threads(batch)
+        stacked = type(self.network).stack_outputs(outputs)
+        return self._result(stacked, len(batch), time.perf_counter() - start)
+
+    # -- backends -----------------------------------------------------------
+
+    def _forward_one(self, cloud, pool):
+        """One cloud through the overlap executor, in this thread."""
+        with self._context():
+            return self.network.forward(
+                cloud, strategy=self.strategy,
+                executor=OverlapExecutor(pool),
+            )
+
+    def _pools(self):
+        # Two pools on purpose: cloud workers block waiting for their
+        # module's search futures, so issuing searches into the same
+        # pool could deadlock once every worker holds a cloud.  Created
+        # lazily and reused across run() calls — a serving loop must
+        # not pay thread construction per batch; close() releases them.
+        if self._cloud_pool is None:
+            self._search_pool = ThreadPoolExecutor(
+                max_workers=self.max_workers,
+                thread_name_prefix="repro-sched-search",
+            )
+            self._cloud_pool = ThreadPoolExecutor(
+                max_workers=self.in_flight,
+                thread_name_prefix="repro-sched-cloud",
+            )
+        return self._search_pool, self._cloud_pool
+
+    def close(self):
+        """Shut down the worker pools (idempotent; runner stays usable —
+        the next :meth:`run` recreates them)."""
+        for pool in (self._search_pool, self._cloud_pool):
+            if pool is not None:
+                pool.shutdown()
+        self._search_pool = None
+        self._cloud_pool = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def _run_threads(self, batch):
+        searches, clouds = self._pools()
+        with no_grad():
+            futures = [
+                clouds.submit(self._forward_one, cloud, searches)
+                for cloud in batch
+            ]
+            return [future.result() for future in futures]
+
+    def _run_serial_frontier(self, batch):
+        with no_grad():
+            return [self._forward_one(cloud, None) for cloud in batch]
+
+    def _run_processes(self, batch):
+        runner = ParallelRunner(max_workers=self.max_workers, backend="process")
+        tasks = [
+            (self.network, cloud, self.strategy, self.substrate, self.dtype)
+            for cloud in batch
+        ]
+        return runner.map(async_forward_task, tasks)

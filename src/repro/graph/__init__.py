@@ -9,13 +9,14 @@ builds its operator graph in ``original`` form
 (:mod:`~repro.graph.passes`), and the rewritten graph feeds every
 consumer — eager and batched executors
 (:mod:`~repro.graph.executors`), the profiling trace lowering
-(:mod:`~repro.graph.lower`), and the engine's execution plans
-(:mod:`~repro.graph.plan`).
+(:mod:`~repro.graph.lower`), the engine's execution plans
+(:mod:`~repro.graph.plan`), and the N/F-overlap schedule lowering
+(:mod:`~repro.graph.schedule`) the async scheduler executes.
 """
 
 from .build import build_module_graph, search_signature
 from .executors import BatchedExecutor, EagerExecutor, ExecutionResult, OpRecorder
-from .ir import KINDS, Graph, Node, format_graph, resolve_dim, shape_env
+from .ir import KINDS, Frontier, Graph, Node, format_graph, resolve_dim, shape_env
 from .lower import lower_graph, lower_module_trace
 from .passes import (
     PIPELINES,
@@ -27,12 +28,16 @@ from .passes import (
     run_pipeline,
 )
 from .plan import ModulePlan, NetworkPlan, compile_network_plan
+from .schedule import GraphSchedule, ScheduledNode, node_lane, schedule_graph
 
 __all__ = [
     "KINDS",
+    "Frontier",
     "Graph",
+    "GraphSchedule",
     "Node",
     "PIPELINES",
+    "ScheduledNode",
     "BatchedExecutor",
     "EagerExecutor",
     "ExecutionResult",
@@ -49,8 +54,10 @@ __all__ = [
     "lower_graph",
     "lower_module_trace",
     "module_graph",
+    "node_lane",
     "resolve_dim",
     "run_pipeline",
+    "schedule_graph",
     "search_signature",
     "shape_env",
 ]

@@ -36,9 +36,11 @@ class OpRecorder:
     records: list = field(default_factory=list)
 
     def record(self, kind, **info):
+        """Append one executed operator's kind and shape attributes."""
         self.records.append({"kind": kind, **info})
 
     def by_kind(self, kind):
+        """All records of one operator kind, in execution order."""
         return [r for r in self.records if r["kind"] == kind]
 
 
@@ -113,8 +115,16 @@ class EagerExecutor:
         ``centroid_idx`` optionally pins externally-chosen centroids
         (multi-scale grouping shares one set across branches).
         """
-        segments = _mlp_segments(module.mlp)
-        env = {}
+        segments, env, state = self._init_run(module)
+        for node in graph:
+            env[node.id] = self._exec_node(
+                node, env, module, coords, features, centroid_idx, segments,
+                state,
+            )
+        return self._finish(graph, env, state)
+
+    def _init_run(self, module):
+        """Per-run scratch shared with subclasses: (segments, env, state)."""
         state = {
             "centroid_local": None,  # cloud-local centroid ids
             "centroid_rows": None,   # rows into the flat feature table
@@ -123,11 +133,10 @@ class EagerExecutor:
             "indices_rows": None,    # row-space NIT indices
             "pft": None,
         }
-        for node in graph:
-            env[node.id] = self._exec_node(
-                node, env, module, coords, features, centroid_idx, segments,
-                state,
-            )
+        return _mlp_segments(module.mlp), {}, state
+
+    def _finish(self, graph, env, state):
+        """Package the executed graph's output (shared with subclasses)."""
         if len(graph.outputs) != 1:
             raise ValueError("module graphs produce exactly one output")
         return ExecutionResult(

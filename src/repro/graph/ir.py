@@ -19,7 +19,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-__all__ = ["KINDS", "Node", "Graph", "resolve_dim", "shape_env", "format_graph"]
+__all__ = [
+    "KINDS",
+    "Frontier",
+    "Graph",
+    "Node",
+    "format_graph",
+    "resolve_dim",
+    "shape_env",
+]
 
 #: Node kinds understood by the executors and the trace lowering.
 KINDS = (
@@ -59,6 +67,7 @@ class Node:
         object.__setattr__(self, "attrs", dict(self.attrs))
 
     def with_attrs(self, **updates):
+        """A copy of this node with ``updates`` merged into its attrs."""
         attrs = dict(self.attrs)
         attrs.update(updates)
         return replace(self, attrs=attrs)
@@ -108,6 +117,7 @@ class Graph:
         self._next_id = 0
 
     def add(self, kind, inputs=(), attrs=None, phase="O", parallelizable=False):
+        """Append a new node (auto-assigned id) and return it."""
         node = Node(self._next_id, kind, tuple(inputs), attrs or {}, phase,
                     parallelizable)
         self._next_id += 1
@@ -115,6 +125,7 @@ class Graph:
         return node
 
     def node(self, node_id):
+        """Look up one node by id."""
         for node in self.nodes:
             if node.id == node_id:
                 return node
@@ -132,6 +143,7 @@ class Graph:
         return found[0]
 
     def consumers(self, node_id):
+        """All nodes that take ``node_id`` as an input, in graph order."""
         return [n for n in self.nodes if node_id in n.inputs]
 
     def replace_nodes(self, nodes, outputs=None):
@@ -146,6 +158,7 @@ class Graph:
         return self
 
     def copy(self):
+        """A shallow copy sharing the (immutable) node records."""
         clone = Graph(self.name)
         clone.nodes = list(self.nodes)
         clone.outputs = tuple(self.outputs)
@@ -168,11 +181,84 @@ class Graph:
                 raise ValueError(f"output {out} is not produced by any node")
         return self
 
+    def frontier(self):
+        """A fresh :class:`Frontier` over this graph's dependency edges."""
+        return Frontier(self)
+
     def __len__(self):
         return len(self.nodes)
 
     def __iter__(self):
         return iter(self.nodes)
+
+
+class Frontier:
+    """Ready-set view of a graph's dependency edges.
+
+    Drives dependency-ordered (rather than list-ordered) execution: a
+    node becomes *ready* once every input has completed, :meth:`take`
+    claims the currently-ready nodes, and :meth:`complete` retires a
+    claimed node, unlocking its consumers.  The async scheduler
+    (:mod:`repro.engine.scheduler`) walks module graphs through this API
+    so independent nodes — the neighbor-search chain and the hoisted
+    MLP chain of a delayed-aggregation graph — can run concurrently.
+
+    The frontier itself is not synchronized: drive it from a single
+    scheduler thread and report worker completions back on that thread.
+    """
+
+    def __init__(self, graph):
+        self._nodes = {node.id: node for node in graph}
+        self._consumers = {node.id: [] for node in graph}
+        self._waiting = {}
+        for node in graph:
+            deps = set(node.inputs)
+            self._waiting[node.id] = deps
+            for parent in deps:
+                self._consumers[parent].append(node.id)
+        self._ready = [node.id for node in graph if not self._waiting[node.id]]
+        self._issued = set()
+        self._done = set()
+
+    def __len__(self):
+        """Nodes not yet completed."""
+        return len(self._nodes) - len(self._done)
+
+    @property
+    def done(self):
+        """True once every node has completed."""
+        return len(self._done) == len(self._nodes)
+
+    def ready(self):
+        """The ready, not-yet-claimed nodes, in graph order."""
+        return tuple(self._nodes[i] for i in self._ready)
+
+    def take(self):
+        """Claim and return every currently-ready node.
+
+        Claimed nodes are the caller's to execute; they re-enter the
+        frontier only through :meth:`complete`.
+        """
+        taken = [self._nodes[i] for i in self._ready]
+        self._issued.update(self._ready)
+        self._ready = []
+        return taken
+
+    def complete(self, node_id):
+        """Retire a claimed node; returns the nodes it made ready."""
+        if node_id not in self._issued:
+            raise ValueError(f"node {node_id} was never taken from the frontier")
+        if node_id in self._done:
+            raise ValueError(f"node {node_id} completed twice")
+        self._done.add(node_id)
+        unlocked = []
+        for consumer in self._consumers[node_id]:
+            waiting = self._waiting[consumer]
+            waiting.discard(node_id)
+            if not waiting and consumer not in self._issued:
+                self._ready.append(consumer)
+                unlocked.append(self._nodes[consumer])
+        return tuple(unlocked)
 
 
 def format_graph(graph, env=None):

@@ -210,6 +210,7 @@ PIPELINES = {
 
 
 def run_pipeline(graph, strategy):
+    """Apply the strategy's pass pipeline to ``graph`` and return the result."""
     if strategy not in PIPELINES:
         raise ValueError(
             f"unknown strategy {strategy!r}; expected one of {tuple(PIPELINES)}"

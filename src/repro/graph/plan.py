@@ -27,6 +27,7 @@ class ModulePlan:
 
     @property
     def node_count(self):
+        """Number of operator nodes in this module's graph."""
         return len(self.graph)
 
 
@@ -46,9 +47,11 @@ class NetworkPlan:
 
     @property
     def node_count(self):
+        """Total operator nodes across every module of the plan."""
         return sum(entry.node_count for entry in self.entries)
 
     def describe(self):
+        """Human-readable dump of every module graph (``repro trace --graph``)."""
         lines = [
             f"plan {self.network} [{self.strategy}]: "
             f"{len(self.entries)} modules, {self.node_count} nodes"

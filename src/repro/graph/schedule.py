@@ -1,0 +1,135 @@
+"""Schedule lowering: tag graph nodes into N/F lanes and ASAP steps.
+
+The paper's systems observation is that delayed aggregation makes the
+neighbor-search (N) and feature-computation (F) phases of a module
+*independent* — the hoisted MLP consumes the raw input points, not the
+gathered neighborhoods — so the two can execute concurrently
+(§V, Fig 11).  This module lowers a strategy-rewritten graph into a
+:class:`GraphSchedule`: every node is tagged with the overlap lane it
+runs in (``"N"`` for the sample→search chain, ``"F"`` for everything
+else) and with its ASAP step (the earliest dependency level at which it
+can start).  A step containing nodes from both lanes is an *overlap
+step* — real N/F concurrency the async scheduler
+(:mod:`repro.engine.scheduler`) exploits.
+
+``original``-order graphs have no overlap steps (every F node consumes
+the aggregation output, which consumes the search); ``delayed`` graphs
+overlap the whole MLP chain with the search; ``limited`` graphs overlap
+only the first, exactly-linear product — which is precisely the
+strategy story of the paper, now visible as a static property of the
+lowered schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GraphSchedule", "ScheduledNode", "node_lane", "schedule_graph"]
+
+#: Node kinds executed on the neighbor (N) lane.  The sample→search
+#: chain is what the scheduler offloads to a worker; aggregation, MLP
+#: layers, epilogues and concats stay on the feature (F) lane.
+N_LANE_KINDS = ("sample", "search")
+
+
+def node_lane(node):
+    """The overlap lane a node executes in: ``"N"`` or ``"F"``."""
+    return "N" if node.kind in N_LANE_KINDS else "F"
+
+
+@dataclass(frozen=True)
+class ScheduledNode:
+    """One graph node with its lane tag and ASAP dependency level."""
+
+    node: object
+    lane: str
+    step: int
+
+
+@dataclass(frozen=True)
+class GraphSchedule:
+    """The lowered schedule of one module graph.
+
+    ``entries`` hold one :class:`ScheduledNode` per graph node, in graph
+    order.  Two nodes with the same ``step`` have no dependency path
+    between them and may run concurrently.
+    """
+
+    name: str
+    entries: tuple
+
+    def __len__(self):
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def lane(self, node_id):
+        """The lane tag of one node."""
+        for entry in self.entries:
+            if entry.node.id == node_id:
+                return entry.lane
+        raise KeyError(f"no node with id {node_id}")
+
+    @property
+    def steps(self):
+        """Entries grouped by ASAP step: a tuple of tuples."""
+        if not self.entries:
+            return ()
+        by_step = {}
+        for entry in self.entries:
+            by_step.setdefault(entry.step, []).append(entry)
+        return tuple(
+            tuple(by_step[s]) for s in sorted(by_step)
+        )
+
+    @property
+    def width(self):
+        """The widest step — the peak node-level concurrency."""
+        return max((len(step) for step in self.steps), default=0)
+
+    def overlap_steps(self):
+        """Steps where an N-lane and an F-lane *compute* node coincide.
+
+        ``input`` nodes are excluded: they cost nothing, so sharing a
+        step with the sampler is not meaningful overlap.  A non-empty
+        result means the strategy rewrite actually unlocked N/F
+        concurrency for this graph.
+        """
+        overlapping = []
+        for step in self.steps:
+            compute = [e for e in step if e.node.kind != "input"]
+            lanes = {e.lane for e in compute}
+            if "N" in lanes and "F" in lanes:
+                overlapping.append(step)
+        return tuple(overlapping)
+
+    def describe(self):
+        """Human-readable dump used by ``repro trace --schedule``."""
+        lines = [
+            f"schedule {self.name}: {len(self.steps)} steps, "
+            f"width {self.width}, {len(self.overlap_steps())} overlap step(s)"
+        ]
+        for index, step in enumerate(self.steps):
+            cells = " | ".join(
+                f"%{e.node.id} {e.node.kind}[{e.lane}]" for e in step
+            )
+            lines.append(f"  step {index}: {cells}")
+        return "\n".join(lines)
+
+
+def schedule_graph(graph):
+    """Lower ``graph`` to a :class:`GraphSchedule` (ASAP leveling).
+
+    Node lists are already topologically ordered, so one forward sweep
+    assigns each node the step after its latest-finishing input.
+    """
+    steps = {}
+    for node in graph:
+        steps[node.id] = 1 + max(
+            (steps[parent] for parent in node.inputs), default=-1
+        )
+    entries = tuple(
+        ScheduledNode(node, node_lane(node), steps[node.id]) for node in graph
+    )
+    return GraphSchedule(graph.name, entries)

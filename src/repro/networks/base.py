@@ -75,11 +75,17 @@ class NetworkExecution:
     flat ``batch * n`` feature rows, and the helpers below perform the
     per-cloud reshapes — the *only* places where single and batched
     execution differ.
+
+    ``executor`` optionally overrides the single-cloud graph executor
+    for every module the body drives; the engine's async scheduler uses
+    this to substitute its N/F-overlap executor without the network
+    bodies knowing.
     """
 
-    def __init__(self, network, batch=None):
+    def __init__(self, network, batch=None, executor=None):
         self.network = network
         self.batch = batch
+        self.executor = executor
 
     @property
     def batched(self):
@@ -95,7 +101,8 @@ class NetworkExecution:
         """One module forward; returns its (Batch)ModuleOutput."""
         if self.batched:
             return module.forward_batch(coords, feats, strategy=strategy)
-        return module(coords, feats, strategy=strategy, trace=trace)
+        return module(coords, feats, strategy=strategy, trace=trace,
+                      executor=self.executor)
 
     def run_encoder(self, modules, coords, feats, strategy, trace=None,
                     keep_intermediates=False):
@@ -286,9 +293,11 @@ class PointCloudNetwork(Module):
     def n_points(self):
         return self.encoder[0].spec.n_in
 
-    def forward(self, coords, strategy="delayed", trace=None):
+    def forward(self, coords, strategy="delayed", trace=None, executor=None):
         """Run the network over one (n_points, 3) cloud.
 
+        ``executor`` optionally substitutes the single-cloud graph
+        executor for every module (see :class:`NetworkExecution`).
         Returns task-dependent output (class logits, per-point logits,
         or detection dict).
         """
@@ -298,7 +307,7 @@ class PointCloudNetwork(Module):
                 f"{self.name} expects {(self.n_points, 3)} coords, "
                 f"got {coords.shape}"
             )
-        ctx = NetworkExecution(self)
+        ctx = NetworkExecution(self, executor=executor)
         feats = ctx.features_from_coords(coords)
         return self._forward_body(ctx, coords, feats, strategy, trace)
 
