@@ -42,7 +42,7 @@ def _cmd_networks(_args):
 
 
 def _cmd_trace(args):
-    from .graph import compile_network_plan, schedule_graph
+    from .graph import compile_network_plan
     from .networks import build_network
 
     net = build_network(args.network)
@@ -50,14 +50,17 @@ def _cmd_trace(args):
     print(f"{net.name} [{args.strategy}] — {len(trace)} ops, "
           f"{trace.mlp_macs() / 1e6:.1f} M MLP MACs")
     if args.schedule:
-        # The N/F-lane overlap schedules the async scheduler executes:
-        # steps with both lanes run neighbor search concurrently with
-        # the hoisted MLP chain.
-        for entry in compile_network_plan(net, args.strategy):
-            print(schedule_graph(entry.graph).describe())
+        # The whole-network N/F-lane schedule the async scheduler
+        # executes: steps with both lanes run neighbor search
+        # concurrently with the hoisted MLP chain, and cross-module
+        # steps start module i+1's N lane while module i still drains.
+        schedule = net.network_graph(args.strategy).schedule()
+        print(schedule.describe())
+        print(f"cross-module overlap steps: "
+              f"{len(schedule.cross_module_overlap_steps())}")
     elif args.graph:
-        # The strategy-rewritten operator graphs the executors run and
-        # the trace below is lowered from.
+        # The strategy-rewritten whole-network operator graph the
+        # executors run and the trace below is lowered from.
         print(compile_network_plan(net, args.strategy).describe())
     else:
         for op in trace:
@@ -161,6 +164,13 @@ def _cmd_bench(args):
           f"speedup {sched['speedup_async']:.2f}x   "
           f"bit-exact {'yes' if sched['bit_exact'] else 'NO'}   "
           f"({sched['workers']} worker(s))")
+    ng = results["netgraph"]
+    print(f"  netgraph composed {ng['composed_ms']:6.2f} ms   "
+          f"graph {ng['netgraph_ms']:8.2f} ms   "
+          f"async {ng['async_ms']:8.2f} ms   "
+          f"bit-exact {'yes' if ng['bit_exact'] else 'NO'}   "
+          f"({ng['cross_module_overlap_steps']} cross-module overlap "
+          f"step(s))")
     write_json(results, args.output)
     print(f"wrote {args.output}")
     return 0

@@ -24,6 +24,14 @@ is lowered from the *same* graph (:mod:`repro.graph.lower`), so trace
 and execution cannot drift.  :func:`emit_module_trace` remains the
 analytic entry point (it never touches point data, so paper-scale
 inputs stay cheap) as a thin shim over the lowering.
+
+Networks no longer compose modules through Python bodies either: the
+network builder (:mod:`repro.graph.network`) inlines
+:func:`repro.graph.build.build_module_graph` as a subroutine, so whole
+networks lower to one graph and the per-module ``forward`` here
+survives as the composition baseline
+(:meth:`repro.networks.base.PointCloudNetwork.forward_composed`) the
+network executors are bit-exactness-tested against.
 """
 
 from __future__ import annotations

@@ -15,14 +15,22 @@ from .bench import run_benchmarks, write_json
 from .cache import NeighborIndexCache, content_digest
 from .parallel import ParallelRunner, kdtree_nit_task, soc_latency_task
 from .runner import BatchResult, BatchRunner
-from .scheduler import AsyncRunner, OverlapExecutor, async_forward_task
+from .scheduler import (
+    AsyncRunner,
+    OverlapExecutor,
+    OverlapNetworkExecutor,
+    async_forward_task,
+    network_forward_task,
+)
 
 __all__ = [
     "AsyncRunner",
     "BatchRunner",
     "BatchResult",
     "OverlapExecutor",
+    "OverlapNetworkExecutor",
     "async_forward_task",
+    "network_forward_task",
     "NeighborIndexCache",
     "content_digest",
     "ParallelRunner",

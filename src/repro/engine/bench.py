@@ -374,6 +374,89 @@ def _outputs_equal(left, right):
     return bool(np.array_equal(np.asarray(left), np.asarray(right)))
 
 
+def bench_netgraph(network="PointNet++ (c)", batch=8, scale=0.25,
+                   strategy="delayed", repeats=2, seed=0):
+    """Whole-network graph execution vs per-module composition.
+
+    Serial: every cloud through the single-cloud network-graph executor
+    vs the same modules composed through
+    :meth:`~repro.core.module.PointCloudModule.forward` (the
+    pre-network-graph path, kept as ``forward_composed``).  Async: the
+    cross-module overlap executor pipelined by :class:`AsyncRunner`.
+    Alongside the timings the row records the *static* overlap story CI
+    gates on deterministically: the whole-network schedule must expose
+    at least one cross-module overlap step and at least as many overlap
+    steps as the per-module schedules combined — and both execution
+    paths must agree bit-exactly.
+    """
+    from ..graph import module_graph, schedule_graph
+
+    net = build_network(network, scale=scale)
+    rng = np.random.default_rng(seed)
+    clouds = rng.normal(size=(batch, net.n_points, 3))
+
+    ngraph = net.network_graph(strategy)
+    network_schedule = ngraph.schedule()
+    module_overlap = sum(
+        len(schedule_graph(module_graph(m.spec, strategy)).overlap_steps())
+        for m in net.encoder
+    )
+
+    with no_grad():
+        graph_out = [net.forward(c, strategy=strategy) for c in clouds]
+        composed_out = [net.forward_composed(c, strategy=strategy)
+                        for c in clouds]
+    exact = all(
+        _outputs_equal(a, b) for a, b in zip(graph_out, composed_out)
+    )
+
+    def composed_loop():
+        with no_grad():
+            for cloud in clouds:
+                net.forward_composed(cloud, strategy=strategy)
+
+    def graph_loop():
+        with no_grad():
+            for cloud in clouds:
+                net.forward(cloud, strategy=strategy)
+
+    composed_ms = eager_ms = float("inf")
+    for _ in range(max(1, repeats) * 2):
+        composed_ms = min(composed_ms, _best_ms(composed_loop, 1))
+        eager_ms = min(eager_ms, _best_ms(graph_loop, 1))
+
+    with AsyncRunner(net, strategy=strategy) as runner:
+        overlapped = runner.run(clouds)
+        async_exact = _outputs_equal(
+            overlapped.outputs, type(net).stack_outputs(graph_out)
+        )
+        async_ms = _best_ms(lambda: runner.run(clouds), repeats)
+
+    return {
+        "workload": {
+            "network": network,
+            "strategy": strategy,
+            "batch": batch,
+            "n_points": net.n_points,
+            "scale": scale,
+        },
+        "baseline": "per-module composition (PointCloudModule.forward chain)",
+        "graph_nodes": ngraph.node_count,
+        "module_regions": len(ngraph.regions),
+        "network_overlap_steps": len(network_schedule.overlap_steps()),
+        "cross_module_overlap_steps": len(
+            network_schedule.cross_module_overlap_steps()
+        ),
+        "module_overlap_steps": module_overlap,
+        "composed_ms": composed_ms,
+        "netgraph_ms": eager_ms,
+        "overhead_ratio": eager_ms / composed_ms,
+        "async_ms": async_ms,
+        "speedup_async": composed_ms / async_ms,
+        "bit_exact": bool(exact and async_exact),
+    }
+
+
 def bench_parallel(n_clouds=8, n_points=512, k=16, repeats=1, seed=0):
     """k-d tree NIT builds (unbatchable) serial vs multi-core processes."""
     rng = np.random.default_rng(seed)
@@ -450,6 +533,13 @@ def run_benchmarks(batch=16, n_points=1024, k=16, network="PointNet++ (c)",
             # Overlap needs GIL-releasing kernel sizes; keep the sched
             # workload at half paper scale unless benching even larger.
             scale=scale if quick else max(scale, 0.5),
+            strategy=strategy,
+            repeats=max(1, repeats - 1),
+        ),
+        "netgraph": bench_netgraph(
+            network=network,
+            batch=max(2, batch // 2),
+            scale=scale if quick else max(scale, 0.25),
             strategy=strategy,
             repeats=max(1, repeats - 1),
         ),

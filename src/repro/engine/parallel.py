@@ -8,6 +8,11 @@ cores instead.  :class:`ParallelRunner` maps a picklable task over a
 serial sweep when only one core is available or the sandbox forbids
 process pools.
 
+Runners can be *persistent*: the pool survives across :meth:`map`
+calls, and an ``initializer`` runs once per worker at pool start — the
+async scheduler's process backend uses this to pickle the network into
+the workers once instead of per batch.
+
 The module-level ``*_task`` helpers are defined at import scope so the
 ``spawn`` start method can pickle them.
 """
@@ -26,38 +31,101 @@ _BACKENDS = ("process", "thread", "serial")
 class ParallelRunner:
     """Map per-cloud tasks over worker processes (or threads).
 
-    ``backend`` is ``"process"`` (default), ``"thread"``, or
-    ``"serial"``.  With one worker, one item, or a pool that fails to
-    start, the map degrades to an in-process loop — results are
-    identical either way.
+    Parameters
+    ----------
+    max_workers, backend:
+        ``backend`` is ``"process"`` (default), ``"thread"``, or
+        ``"serial"``.  With one worker, one item, or a pool that fails
+        to start, the map degrades to an in-process loop — results are
+        identical either way.
+    initializer, initargs:
+        Optional per-worker setup run once when each worker starts
+        (e.g. unpickling a network into worker globals).  The serial
+        degrade path applies it in-process before every map — worker
+        state is commonly module-global, and another runner may have
+        replaced it in between — so results stay identical.
+    persistent:
+        Keep the pool alive across :meth:`map` calls instead of
+        creating one per call — amortizes worker startup (and the
+        initializer's pickling) over a serving loop.  Release with
+        :meth:`close` or use the runner as a context manager.
     """
 
-    def __init__(self, max_workers=None, backend="process"):
+    def __init__(self, max_workers=None, backend="process", initializer=None,
+                 initargs=(), persistent=False):
         if backend not in _BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; expected {_BACKENDS}")
         self.max_workers = int(max_workers or os.cpu_count() or 1)
         if self.max_workers <= 0:
             raise ValueError("max_workers must be positive")
         self.backend = backend
+        self.initializer = initializer
+        self.initargs = tuple(initargs)
+        self.persistent = bool(persistent)
+        self._pool = None
+
+    def _pool_kwargs(self):
+        kwargs = {"max_workers": self.max_workers}
+        if self.initializer is not None:
+            kwargs.update(initializer=self.initializer,
+                          initargs=self.initargs)
+        return kwargs
+
+    def _make_pool(self):
+        cls = ProcessPoolExecutor if self.backend == "process" \
+            else ThreadPoolExecutor
+        return cls(**self._pool_kwargs())
+
+    def _serial_map(self, fn, items):
+        # Re-applied on every serial map, not memoized per runner:
+        # initializers typically install module-global worker state, and
+        # another runner's initializer may have overwritten it since the
+        # last call here.
+        if self.initializer is not None:
+            self.initializer(*self.initargs)
+        return [fn(item) for item in items]
 
     def map(self, fn, items, chunksize=1):
         """Apply ``fn`` to every item, preserving order."""
         items = list(items)
         if self.backend == "serial" or self.max_workers == 1 or len(items) <= 1:
-            return [fn(item) for item in items]
+            return self._serial_map(fn, items)
         try:
+            if self.persistent:
+                if self._pool is None:
+                    self._pool = self._make_pool()
+                if self.backend == "process":
+                    return list(self._pool.map(fn, items, chunksize=chunksize))
+                return list(self._pool.map(fn, items))
             if self.backend == "process":
-                with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                with self._make_pool() as pool:
                     return list(pool.map(fn, items, chunksize=chunksize))
-            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            with self._make_pool() as pool:
                 return list(pool.map(fn, items))
         except (OSError, PermissionError, RuntimeError) as exc:
+            # A broken persistent pool cannot serve the next map either.
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+                self._pool = None
             warnings.warn(
                 f"{self.backend} pool unavailable ({exc}); running serially",
                 RuntimeWarning,
                 stacklevel=2,
             )
-            return [fn(item) for item in items]
+            return self._serial_map(fn, items)
+
+    def close(self):
+        """Shut down a persistent pool (idempotent; the next :meth:`map`
+        recreates it)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
 
 
 def kdtree_nit_task(args):

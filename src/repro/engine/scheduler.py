@@ -1,8 +1,8 @@
-"""Async N/F-overlap scheduler: execute NetworkPlan entries concurrently.
+"""Async N/F-overlap scheduler: dependency-driven network execution.
 
-The serial executors walk a module graph front to back, so the
-neighbor search finishes before the first hoisted MLP layer starts —
-even though delayed aggregation makes the two independent.  This module
+The serial executors walk a graph front to back, so the neighbor
+search finishes before the first hoisted MLP layer starts — even
+though delayed aggregation makes the two independent.  This module
 turns the operator-graph IR into an actual concurrency substrate:
 
 * :class:`OverlapExecutor` executes one module graph dependency-first
@@ -12,24 +12,30 @@ turns the operator-graph IR into an actual concurrency substrate:
   chain) run inline on the scheduling thread, so neighbor search and
   feature computation overlap per module — the paper's N/F overlap
   (§V), in software.
+* :class:`OverlapNetworkExecutor` does the same over a *whole-network*
+  graph (:mod:`repro.graph.network`): because stage coordinates flow
+  through explicit ``coords`` nodes, module i+1's sample→search chain
+  is ready while module i's hoisted MLP and aggregation still drain —
+  N/F overlap across module boundaries, which per-module execution
+  cannot express.
 * :class:`AsyncRunner` serves batches with the same API as
   :class:`~repro.engine.runner.BatchRunner` but pipelines multiple
-  clouds in flight: each cloud walks the full network (every
-  ``NetworkPlan`` entry plus heads/decoders) on its own worker, so
-  cloud *i*'s module-2 search runs while cloud *j*'s module-1 MLP
-  computes.
+  clouds in flight: each cloud walks the full network graph on its own
+  worker, so cloud *i*'s module-2 search runs while cloud *j*'s
+  module-1 MLP computes.
 
-Every node executes the exact same arithmetic as
-:class:`~repro.graph.executors.EagerExecutor` — the scheduler only
-changes *when* nodes run, never what they compute — so async outputs
-are bit-exact matches of the serial eager forward (CI-gated).
+Every node executes the exact same arithmetic as the serial network
+executors — the scheduler only changes *when* nodes run, never what
+they compute — so async outputs are bit-exact matches of the serial
+eager forward (CI-gated).
 
 Thread pools suit the default brute-force substrate because its hot
 kernels (distance matmuls, ``argpartition``, tall shared-MLP products)
 release the GIL; for CPU-bound substrates whose per-cloud sweeps hold
 the GIL (pure-python k-d tree or grid walks), ``backend="process"``
-fans whole-cloud forwards over the existing
-:class:`~repro.engine.parallel.ParallelRunner` process pool instead.
+fans whole-cloud forwards over a *persistent*
+:class:`~repro.engine.parallel.ParallelRunner` process pool — the
+network is pickled once into the pool initializer, not per batch.
 """
 
 from __future__ import annotations
@@ -40,15 +46,66 @@ from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 
 from ..graph.executors import EagerExecutor
+from ..graph.network import NetworkEagerExecutor
 from ..graph.schedule import node_lane
 from ..neighbors import active_search_options, search_context
 from ..neural import no_grad
 from .parallel import ParallelRunner
 from .runner import BatchRunner
 
-__all__ = ["AsyncRunner", "OverlapExecutor", "async_forward_task"]
+__all__ = [
+    "AsyncRunner",
+    "OverlapExecutor",
+    "OverlapNetworkExecutor",
+    "async_forward_task",
+    "network_forward_task",
+]
 
 _BACKENDS = ("thread", "process", "serial")
+
+
+def _drive_frontier(graph, execute, pool, options, on_complete=None):
+    """Walk ``graph`` dependency-first, pooling N-lane nodes.
+
+    ``execute(node, env)`` computes one node's value; ready N-lane
+    nodes are submitted to ``pool`` (re-entering the caller's
+    thread-local search ``options``) while everything else runs inline
+    on the scheduling thread.  Returns the completed environment.
+    """
+
+    def execute_pooled(node, env):
+        with search_context(**options):
+            return execute(node, env)
+
+    env = {}
+    frontier = graph.frontier()
+    inline = deque()
+    in_flight = {}
+    while not frontier.done:
+        for node in frontier.take():
+            if pool is not None and node_lane(node) == "N":
+                in_flight[pool.submit(execute_pooled, node, env)] = node
+            else:
+                inline.append(node)
+        finished = [f for f in in_flight if f.done()]
+        if inline:
+            node = inline.popleft()
+            env[node.id] = execute(node, env)
+            frontier.complete(node.id)
+        elif in_flight and not finished:
+            finished = list(
+                wait(in_flight, return_when=FIRST_COMPLETED).done
+            )
+        elif not finished:
+            raise RuntimeError(
+                f"scheduler stalled on {graph.name}: no ready nodes "
+                "and nothing in flight (cyclic or disconnected graph)"
+            )
+        for future in finished:
+            node = in_flight.pop(future)
+            env[node.id] = future.result()
+            frontier.complete(node.id)
+    return env
 
 
 class OverlapExecutor(EagerExecutor):
@@ -86,14 +143,14 @@ class OverlapExecutor(EagerExecutor):
 
     def run(self, graph, module, coords, features, centroid_idx=None):
         """Execute ``graph`` dependency-first; see :class:`EagerExecutor`."""
-        segments, env, state = self._init_run(module)
+        segments, shared_env, state = self._init_run(module)
         # Search options are thread-local: capture the scheduler
         # thread's scope and re-enter it around pooled nodes so a
         # worker-thread search still sees the engine's substrate,
         # cache and dtype choice.
         options = active_search_options()
 
-        def execute(node):
+        def execute(node, env):
             if self.observer is not None:
                 self.observer("start", node)
             value = self._exec_node(
@@ -104,50 +161,88 @@ class OverlapExecutor(EagerExecutor):
                 self.observer("finish", node)
             return value
 
-        def execute_pooled(node):
-            with search_context(**options):
-                return execute(node)
+        shared_env.update(
+            _drive_frontier(graph, execute, self.pool, options)
+        )
+        return self._finish(graph, shared_env, state)
 
-        frontier = graph.frontier()
-        inline = deque()
-        in_flight = {}
-        while not frontier.done:
-            for node in frontier.take():
-                if self.pool is not None and node_lane(node) == "N":
-                    in_flight[self.pool.submit(execute_pooled, node)] = node
-                else:
-                    inline.append(node)
-            finished = [f for f in in_flight if f.done()]
-            if inline:
-                node = inline.popleft()
-                env[node.id] = execute(node)
-                frontier.complete(node.id)
-            elif in_flight and not finished:
-                finished = list(
-                    wait(in_flight, return_when=FIRST_COMPLETED).done
-                )
-            elif not finished:
-                raise RuntimeError(
-                    f"scheduler stalled on {graph.name}: no ready nodes "
-                    "and nothing in flight (cyclic or disconnected graph)"
-                )
-            for future in finished:
-                node = in_flight.pop(future)
-                env[node.id] = future.result()
-                frontier.complete(node.id)
-        return self._finish(graph, env, state)
+
+class OverlapNetworkExecutor(NetworkEagerExecutor):
+    """Whole-network graph executor with cross-module N/F overlap.
+
+    Drop-in for :class:`~repro.graph.network.NetworkEagerExecutor`
+    (same ``run_network`` contract, same per-node arithmetic — outputs
+    are bit-identical).  Walking the network graph's dependency
+    frontier instead of its node list means module i+1's sample→search
+    chain is submitted to the pool the moment module i's sampling chain
+    completes — while module i's hoisted MLP and aggregation are still
+    draining on the scheduling thread.  This is the cross-module
+    overlap the per-module :class:`OverlapExecutor` cannot express.
+
+    Parameters as for :class:`OverlapExecutor`.
+    """
+
+    def __init__(self, pool=None, recorder=None, observer=None):
+        super().__init__(recorder)
+        self.pool = pool
+        self.observer = observer
+
+    def run_network(self, ngraph, network, coords):
+        """Execute the network graph dependency-first."""
+        shared_env = self._start_run(ngraph, coords)
+        options = active_search_options()
+
+        def execute(node, env):
+            if self.observer is not None:
+                self.observer("start", node)
+            value = self._exec_network_node(node, env, ngraph, coords)
+            if self.observer is not None:
+                self.observer("finish", node)
+            return value
+
+        shared_env.update(
+            _drive_frontier(ngraph.graph, execute, self.pool, options)
+        )
+        return self._network_outputs(ngraph, shared_env)
 
 
 def async_forward_task(args):
     """(network, cloud, strategy, substrate, dtype) -> one forward output.
 
-    Module-level so the ``spawn`` start method can pickle it; used by
-    :class:`AsyncRunner`'s process backend.  The search context and
-    inference mode are (re-)entered inside the worker process.
+    Module-level so the ``spawn`` start method can pickle it.  This is
+    the self-contained (network re-pickled per task) form; the
+    :class:`AsyncRunner` process backend now ships the network once via
+    the pool initializer and dispatches :func:`network_forward_task`
+    instead.
     """
     network, cloud, strategy, substrate, dtype = args
     with no_grad(), search_context(substrate=substrate, dtype=dtype):
         return network.forward(cloud, strategy=strategy)
+
+
+#: Per-worker-process state installed by :func:`_init_forward_worker`.
+_WORKER_STATE = {}
+
+
+def _init_forward_worker(network, strategy, substrate, dtype):
+    """Pool initializer: unpickle the network once per worker process.
+
+    Runs in each worker when the persistent pool starts (and in-process
+    when the pool degrades to a serial map), so per-task payloads are
+    just the cloud arrays.
+    """
+    _WORKER_STATE["network"] = network
+    _WORKER_STATE["strategy"] = strategy
+    _WORKER_STATE["substrate"] = substrate
+    _WORKER_STATE["dtype"] = dtype
+
+
+def network_forward_task(cloud):
+    """One cloud through the worker's initializer-installed network."""
+    state = _WORKER_STATE
+    with no_grad(), search_context(substrate=state["substrate"],
+                                   dtype=state["dtype"]):
+        return state["network"].forward(cloud, strategy=state["strategy"])
 
 
 class AsyncRunner(BatchRunner):
@@ -163,10 +258,11 @@ class AsyncRunner(BatchRunner):
 
     The thread backend's worker pools are created lazily and reused
     across :meth:`run` calls, so a serving loop pays thread
-    construction once, not per batch; call :meth:`close` (or use the
-    runner as a context manager) to release them.  The process backend
-    spawns its pool (and re-pickles the network) per batch — the
-    ROADMAP's persistent-worker-pool item covers amortizing that.
+    construction once, not per batch; the process backend keeps a
+    persistent :class:`~repro.engine.parallel.ParallelRunner` pool that
+    pickles the network once into its initializer, so per-batch
+    payloads are just the cloud arrays.  Call :meth:`close` (or use the
+    runner as a context manager) to release all of them.
 
     Parameters
     ----------
@@ -211,6 +307,7 @@ class AsyncRunner(BatchRunner):
         self.in_flight = int(in_flight)
         self._search_pool = None
         self._cloud_pool = None
+        self._process_runner = None
 
     def run(self, clouds):
         """Overlapped inference over ``clouds`` (list or (B, N, 3) array)."""
@@ -232,11 +329,11 @@ class AsyncRunner(BatchRunner):
     # -- backends -----------------------------------------------------------
 
     def _forward_one(self, cloud, pool):
-        """One cloud through the overlap executor, in this thread."""
+        """One cloud through the network overlap executor, in this thread."""
         with self._context():
             return self.network.forward(
                 cloud, strategy=self.strategy,
-                executor=OverlapExecutor(pool),
+                executor=OverlapNetworkExecutor(pool),
             )
 
     def _pools(self):
@@ -264,6 +361,9 @@ class AsyncRunner(BatchRunner):
                 pool.shutdown()
         self._search_pool = None
         self._cloud_pool = None
+        if self._process_runner is not None:
+            self._process_runner.close()
+            self._process_runner = None
 
     def __enter__(self):
         return self
@@ -285,9 +385,13 @@ class AsyncRunner(BatchRunner):
             return [self._forward_one(cloud, None) for cloud in batch]
 
     def _run_processes(self, batch):
-        runner = ParallelRunner(max_workers=self.max_workers, backend="process")
-        tasks = [
-            (self.network, cloud, self.strategy, self.substrate, self.dtype)
-            for cloud in batch
-        ]
-        return runner.map(async_forward_task, tasks)
+        # Persistent pool: the network is pickled exactly once, into
+        # each worker's initializer; per-batch payloads are the clouds.
+        if self._process_runner is None:
+            self._process_runner = ParallelRunner(
+                max_workers=self.max_workers, backend="process",
+                persistent=True, initializer=_init_forward_worker,
+                initargs=(self.network, self.strategy, self.substrate,
+                          self.dtype),
+            )
+        return self._process_runner.map(network_forward_task, list(batch))

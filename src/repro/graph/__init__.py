@@ -17,7 +17,16 @@ consumer — eager and batched executors
 from .build import build_module_graph, search_signature
 from .executors import BatchedExecutor, EagerExecutor, ExecutionResult, OpRecorder
 from .ir import KINDS, Frontier, Graph, Node, format_graph, resolve_dim, shape_env
-from .lower import lower_graph, lower_module_trace
+from .lower import lower_graph, lower_module_trace, lower_network_trace
+from .network import (
+    NetworkBatchedExecutor,
+    NetworkEagerExecutor,
+    NetworkGraph,
+    NetworkGraphBuilder,
+    NetworkOutput,
+    NetworkRegion,
+    build_network_graph,
+)
 from .passes import (
     PIPELINES,
     dead_code_elimination,
@@ -42,9 +51,16 @@ __all__ = [
     "EagerExecutor",
     "ExecutionResult",
     "ModulePlan",
+    "NetworkBatchedExecutor",
+    "NetworkEagerExecutor",
+    "NetworkGraph",
+    "NetworkGraphBuilder",
+    "NetworkOutput",
     "NetworkPlan",
+    "NetworkRegion",
     "OpRecorder",
     "build_module_graph",
+    "build_network_graph",
     "compile_network_plan",
     "dead_code_elimination",
     "delay_aggregation",
@@ -53,6 +69,7 @@ __all__ = [
     "limit_delay",
     "lower_graph",
     "lower_module_trace",
+    "lower_network_trace",
     "module_graph",
     "node_lane",
     "resolve_dim",

@@ -41,6 +41,15 @@ KINDS = (
     "aggregate",   # fused gather[+reduce_max]+subtract (A phase)
     "epilogue",    # limited-variant bias + activation replay (no trace op)
     "concat",      # feature concatenation (O phase)
+    # Network-level kinds (repro.graph.network): whole networks lower
+    # to one graph, so heads, decoders and skip glue are IR nodes too.
+    "coords",      # stage coordinates: network input or prev[centroids]
+    "lift",        # seed feature rows from a coords value (no trace op)
+    "head",        # an MLP head / embedding applied to flat rows (F phase)
+    "propagate",   # feature propagation / upsampling (decoder, O+F phase)
+    "global_max",  # per-cloud global max-pool over flat rows (F phase)
+    "broadcast",   # repeat each cloud's pooled row per point (no trace op)
+    "select",      # per-cloud top-score point selection (no trace op)
 )
 
 

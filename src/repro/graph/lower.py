@@ -15,6 +15,7 @@ from __future__ import annotations
 from ..profiling.trace import (
     ConcatOp,
     GatherOp,
+    InterpolateOp,
     MatMulOp,
     NeighborSearchOp,
     ReduceMaxOp,
@@ -24,18 +25,27 @@ from ..profiling.trace import (
 from .ir import resolve_dim, shape_env
 from .passes import module_graph
 
-__all__ = ["lower_graph", "lower_module_trace"]
+__all__ = ["lower_graph", "lower_module_trace", "lower_network_trace"]
 
 
 def lower_graph(graph, trace, env, name=None):
-    """Append ``graph``'s operator records to ``trace`` under ``env``."""
-    name = graph.name if name is None else name
+    """Append ``graph``'s operator records to ``trace`` under ``env``.
+
+    Module names come from each node's ``label`` attr when present (the
+    network builder tags every inlined/glue node), falling back to
+    ``name``; nodes marked ``traced=False`` (bookkeeping glue the
+    analytic emission never reported) are skipped.
+    """
+    default_name = graph.name if name is None else name
 
     def dim(value):
         return resolve_dim(value, env)
 
     for node in graph:
         attrs = node.attrs
+        if attrs.get("traced") is False:
+            continue
+        name = attrs.get("label", default_name)
         if node.kind == "sample":
             if dim(attrs["n_samples"]) < dim(attrs["n_points"]):
                 trace.add(SampleOp(node.phase, name,
@@ -72,7 +82,26 @@ def lower_graph(graph, trace, env, name=None):
         elif node.kind == "concat":
             trace.add(ConcatOp(node.phase, name, rows=dim(attrs["rows"]),
                                dim=dim(attrs["dim"])))
-        elif node.kind in ("input", "epilogue"):
+        elif node.kind == "head":
+            dims = attrs["dims"]
+            for a, b in zip(dims[:-1], dims[1:]):
+                trace.add(MatMulOp("F", name, rows=dim(attrs["rows"]),
+                                   in_dim=a, out_dim=b))
+        elif node.kind == "propagate":
+            dims = attrs["dims"]
+            trace.add(InterpolateOp("O", name,
+                                    n_points=dim(attrs["n_points"]),
+                                    k=dim(attrs["k"]),
+                                    feature_dim=dims[0]))
+            for a, b in zip(dims[:-1], dims[1:]):
+                trace.add(MatMulOp("F", name, rows=dim(attrs["n_points"]),
+                                   in_dim=a, out_dim=b))
+        elif node.kind == "global_max":
+            trace.add(ReduceMaxOp("F", name, n_centroids=1,
+                                  k=dim(attrs["k"]),
+                                  feature_dim=dim(attrs["dim"])))
+        elif node.kind in ("input", "epilogue", "coords", "lift", "select",
+                           "broadcast"):
             continue
         else:
             raise ValueError(f"cannot lower node kind {node.kind!r}")
@@ -103,3 +132,15 @@ def lower_module_trace(spec, strategy, trace, n_in=None):
     graph = module_graph(spec, strategy)
     env = shape_env(spec, n_in=n_in)
     return lower_graph(graph, trace, env, name=spec.name)
+
+
+def lower_network_trace(ngraph, trace):
+    """Lower a whole-network graph into ``trace``.
+
+    Network graphs bind their dims statically at build time (networks
+    validate their input scale), so the environment is empty; per-node
+    ``label`` attrs carry the module names.  This is what
+    :meth:`repro.networks.base.PointCloudNetwork.trace` emits — the
+    analytic stream and the executed program share one graph.
+    """
+    return lower_graph(ngraph.graph, trace, {}, name=ngraph.network)

@@ -49,6 +49,157 @@ def _original_pattern(graph):
     )
 
 
+# -- network-aware region machinery -----------------------------------------
+#
+# A whole-network graph (repro.graph.network) inlines every module's
+# original-order subgraph, tagging each inlined node with
+# ``attrs["module"]``.  The strategy rewrites below then apply to every
+# module *region* of the program — the same pass works on a single
+# module graph (one implicit region) and on a network graph with many.
+
+
+def _has_module_regions(graph):
+    return any("module" in node.attrs for node in graph)
+
+
+def _region_pattern(nodes):
+    """The original-order skeleton of one inlined module region."""
+
+    def only(kind):
+        found = [n for n in nodes if n.kind == kind]
+        if len(found) != 1:
+            raise ValueError(
+                f"expected exactly one {kind!r} node per module region, "
+                f"got {len(found)}"
+            )
+        return found[0]
+
+    return (
+        only("sample"),
+        only("search"),
+        only("gather"),
+        only("subtract"),
+        [n for n in nodes if n.kind == "matmul"],
+        only("reduce_max"),
+    )
+
+
+def _rewrite_module_regions(graph, region_rewrite):
+    """Apply ``region_rewrite`` to every contiguous module region.
+
+    ``region_rewrite(nodes, alloc)`` returns ``(new_nodes, old_out,
+    new_out)``; when the region's externally-visible output node changes
+    (delayed aggregation moves it from the reduce to the subtract), all
+    downstream references — later regions, glue nodes, graph outputs —
+    are rewired.  ``alloc()`` hands out globally-fresh node ids.
+    """
+    graph = graph.copy()
+    nodes = list(graph.nodes)
+    next_id = [max((n.id for n in nodes), default=-1) + 1]
+
+    def alloc():
+        next_id[0] += 1
+        return next_id[0] - 1
+
+    remap = {}
+
+    def rewire(node):
+        # Input edges and the coords/feats attr references (the module
+        # executor's stage bindings) both follow a moved region output.
+        if any(parent in remap for parent in node.inputs):
+            node = replace(
+                node, inputs=tuple(remap.get(p, p) for p in node.inputs)
+            )
+        updates = {
+            key: remap[node.attrs[key]]
+            for key in ("coords", "feats")
+            if node.attrs.get(key) in remap
+        }
+        if updates:
+            node = node.with_attrs(**updates)
+        return node
+
+    out, seen, i = [], set(), 0
+    while i < len(nodes):
+        index = nodes[i].attrs.get("module")
+        if index is None:
+            out.append(rewire(nodes[i]))
+            i += 1
+            continue
+        if index in seen:
+            raise ValueError(f"module region {index} is not contiguous")
+        seen.add(index)
+        region = []
+        while i < len(nodes) and nodes[i].attrs.get("module") == index:
+            region.append(rewire(nodes[i]))
+            i += 1
+        new_nodes, old_out, new_out = region_rewrite(region, alloc)
+        if old_out != new_out:
+            remap[old_out] = new_out
+        out.extend(new_nodes)
+    outputs = tuple(remap.get(o, o) for o in graph.outputs)
+    return graph.replace_nodes(out, outputs=outputs).validate()
+
+
+def _delay_region(nodes, _alloc):
+    """Delay one inlined module region (network-graph form of Fig 8)."""
+    smp, srch, gth, sub, matmuls, rm = _region_pattern(nodes)
+    if sub.attrs.get("mode") != "pre":
+        raise ValueError("delay_aggregation expects an original-order graph")
+    feats_src = gth.inputs[0]
+    n_in = srch.attrs["n_points"]
+    n_out = srch.attrs["n_queries"]
+    out_dim = matmuls[-1].attrs["out_dim"]
+
+    hoisted, prev_id = [], feats_src
+    for mm in matmuls:
+        mm = replace(mm, inputs=(prev_id,), parallelizable=True)
+        mm = mm.with_attrs(rows=n_in)
+        hoisted.append(mm)
+        prev_id = mm.id
+    hoisted[-1] = hoisted[-1].with_attrs(pft=True)
+
+    srch = replace(srch, parallelizable=True)
+    gth = replace(gth, inputs=(hoisted[-1].id, srch.id))
+    gth = gth.with_attrs(feature_dim=out_dim)
+    rm = replace(rm, inputs=(gth.id,), phase="A")
+    rm = rm.with_attrs(feature_dim=out_dim)
+    new_sub = replace(sub, inputs=(rm.id, hoisted[-1].id, smp.id))
+    new_sub = new_sub.with_attrs(rows=n_out, dim=out_dim, mode="post")
+    return [smp, *hoisted, srch, gth, rm, new_sub], rm.id, new_sub.id
+
+
+def _limit_region(nodes, alloc):
+    """Hoist one region's first matrix-vector product (GNN variant)."""
+    smp, srch, gth, sub, matmuls, rm = _region_pattern(nodes)
+    if sub.attrs.get("mode") != "pre":
+        raise ValueError("limit_delay expects an original-order graph")
+    feats_src = gth.inputs[0]
+    n_in = srch.attrs["n_points"]
+    hidden = matmuls[0].attrs["out_dim"]
+
+    first = replace(matmuls[0], inputs=(feats_src,), parallelizable=True)
+    first = first.with_attrs(rows=n_in, weight_only=True, pft=True)
+    srch = replace(srch, parallelizable=True)
+    gth = replace(gth, inputs=(first.id, srch.id))
+    gth = gth.with_attrs(feature_dim=hidden)
+    sub = replace(sub, inputs=(gth.id, first.id, smp.id))
+    sub = sub.with_attrs(dim=hidden)
+
+    region_attrs = {
+        key: smp.attrs[key] for key in ("module", "label") if key in smp.attrs
+    }
+    epilogue = Node(alloc(), "epilogue", (sub.id,),
+                    {"layer": 0, **region_attrs}, phase="F")
+    rest, prev = [], epilogue
+    for mm in matmuls[1:]:
+        mm = replace(mm, inputs=(prev.id,))
+        rest.append(mm)
+        prev = mm
+    rm = replace(rm, inputs=(prev.id,))
+    return [smp, first, srch, gth, sub, epilogue, *rest, rm], rm.id, rm.id
+
+
 def delay_aggregation(graph):
     """Rewrite ``F(A(N(p), p))`` into ``A(F(N(p)), F(p))`` (Fig 8).
 
@@ -58,7 +209,13 @@ def delay_aggregation(graph):
     becomes gather → reduce-max → subtract: the centroid feature is
     subtracted *after* the reduction, which is exact by the max-subtract
     identity.  The final MLP output is the Point Feature Table.
+
+    Network-aware: on a whole-network graph the rewrite applies to every
+    inlined module region, rewiring downstream consumers of each
+    region's output.
     """
+    if _has_module_regions(graph):
+        return _rewrite_module_regions(graph, _delay_region)
     graph = graph.copy()
     inp, smp, srch, gth, sub, matmuls, rm = _original_pattern(graph)
     if sub.attrs.get("mode") != "pre":
@@ -96,7 +253,11 @@ def limit_delay(graph):
     after aggregation before the remaining layers run over the
     ``n_out*k`` aggregated rows.  The hoisted product's output is the
     (narrow) Point Feature Table.
+
+    Network-aware like :func:`delay_aggregation`.
     """
+    if _has_module_regions(graph):
+        return _rewrite_module_regions(graph, _limit_region)
     graph = graph.copy()
     inp, smp, srch, gth, sub, matmuls, rm = _original_pattern(graph)
     if sub.attrs.get("mode") != "pre":

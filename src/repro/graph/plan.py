@@ -33,11 +33,18 @@ class ModulePlan:
 
 @dataclass(frozen=True)
 class NetworkPlan:
-    """Ordered module plans for one network under one strategy."""
+    """Ordered module plans for one network under one strategy.
+
+    ``graph`` is the whole-network :class:`~repro.graph.network.NetworkGraph`
+    the executors actually run — one program spanning every module plus
+    heads, decoders and skip glue; the per-module ``entries`` remain the
+    sharding/placement metadata (per-module working sets).
+    """
 
     network: str
     strategy: str
     entries: tuple
+    graph: object = None
 
     def __len__(self):
         return len(self.entries)
@@ -51,25 +58,42 @@ class NetworkPlan:
         return sum(entry.node_count for entry in self.entries)
 
     def describe(self):
-        """Human-readable dump of every module graph (``repro trace --graph``)."""
+        """Human-readable dump used by ``repro trace --graph``.
+
+        Prints the whole-network graph when compiled from a live
+        network, otherwise the per-module graphs.
+        """
         lines = [
             f"plan {self.network} [{self.strategy}]: "
-            f"{len(self.entries)} modules, {self.node_count} nodes"
+            f"{len(self.entries)} modules, {self.node_count} module nodes"
         ]
-        for entry in self.entries:
-            lines.append(format_graph(entry.graph, env=shape_env(entry.spec)))
+        if self.graph is not None:
+            lines.append(
+                f"network graph: {self.graph.node_count} nodes, "
+                f"{len(self.graph.regions)} module regions"
+            )
+            lines.append(format_graph(self.graph.graph))
+        else:
+            for entry in self.entries:
+                lines.append(
+                    format_graph(entry.graph, env=shape_env(entry.spec))
+                )
         return "\n".join(lines)
 
 
 def compile_network_plan(network, strategy="delayed"):
-    """Compile every encoder (and box-stage) module of ``network``.
+    """Compile ``network``: the whole-network graph plus module metadata.
 
-    Graphs are memoized per (spec, strategy), so repeated compilation
-    is free; the plan object itself is cheap metadata.
+    The network graph is memoized per (instance, strategy) and the
+    module graphs per (spec, strategy), so repeated compilation is
+    free; the plan object itself is cheap metadata.
     """
     modules = list(network.encoder) + list(getattr(network, "box_encoder", []))
     entries = tuple(
         ModulePlan(m.spec.name, m.spec, module_graph(m.spec, strategy))
         for m in modules
     )
-    return NetworkPlan(network.name, strategy, entries)
+    graph = None
+    if hasattr(network, "network_graph"):
+        graph = network.network_graph(strategy)
+    return NetworkPlan(network.name, strategy, entries, graph)

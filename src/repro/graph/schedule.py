@@ -31,6 +31,11 @@ __all__ = ["GraphSchedule", "ScheduledNode", "node_lane", "schedule_graph"]
 #: layers, epilogues and concats stay on the feature (F) lane.
 N_LANE_KINDS = ("sample", "search")
 
+#: Bookkeeping kinds that cost nothing: sharing a step with them is not
+#: meaningful overlap (``coords``/``lift`` are the network-graph stage
+#: plumbing; ``input`` the module-graph placeholder).
+_NON_COMPUTE_KINDS = ("input", "coords", "lift")
+
 
 def node_lane(node):
     """The overlap lane a node executes in: ``"N"`` or ``"F"``."""
@@ -91,24 +96,51 @@ class GraphSchedule:
     def overlap_steps(self):
         """Steps where an N-lane and an F-lane *compute* node coincide.
 
-        ``input`` nodes are excluded: they cost nothing, so sharing a
-        step with the sampler is not meaningful overlap.  A non-empty
-        result means the strategy rewrite actually unlocked N/F
-        concurrency for this graph.
+        Zero-cost bookkeeping nodes (``input``, and the network-graph
+        ``coords``/``lift`` plumbing) are excluded: sharing a step with
+        them is not meaningful overlap.  A non-empty result means the
+        strategy rewrite actually unlocked N/F concurrency for this
+        graph.
         """
         overlapping = []
         for step in self.steps:
-            compute = [e for e in step if e.node.kind != "input"]
+            compute = [e for e in step if e.node.kind not in _NON_COMPUTE_KINDS]
             lanes = {e.lane for e in compute}
             if "N" in lanes and "F" in lanes:
                 overlapping.append(step)
         return tuple(overlapping)
 
+    def cross_module_overlap_steps(self):
+        """Overlap steps spanning *different* modules of a network graph.
+
+        A step counts when an N-lane node of one module (module i+1's
+        sample→search chain) coincides with an F-lane compute node of
+        another (module i's MLP or aggregation drain) — the
+        cross-module concurrency whole-network graphs unlock.  Always
+        empty for single-module graphs.
+        """
+        overlapping = []
+        for step in self.overlap_steps():
+            compute = [e for e in step if e.node.kind not in _NON_COMPUTE_KINDS]
+            n_modules = {e.node.attrs.get("module") for e in compute
+                         if e.lane == "N"}
+            f_modules = {e.node.attrs.get("module") for e in compute
+                         if e.lane == "F"}
+            if any(
+                n is not None and f is not None and n != f
+                for n in n_modules for f in f_modules
+            ):
+                overlapping.append(step)
+        return tuple(overlapping)
+
     def describe(self):
         """Human-readable dump used by ``repro trace --schedule``."""
+        cross = len(self.cross_module_overlap_steps())
+        cross_note = f", {cross} cross-module" if cross else ""
         lines = [
             f"schedule {self.name}: {len(self.steps)} steps, "
-            f"width {self.width}, {len(self.overlap_steps())} overlap step(s)"
+            f"width {self.width}, {len(self.overlap_steps())} overlap "
+            f"step(s){cross_note}"
         ]
         for index, step in enumerate(self.steps):
             cells = " | ".join(

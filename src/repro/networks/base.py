@@ -12,33 +12,36 @@ Networks run in two modes:
   full input scale, consumed by the profiling analytics and the
   hardware models (Figs 4-22).
 
-Since the operator-graph IR landed, every network defines its forward
-*once* against a :class:`NetworkExecution` context.  The context binds
-the body to either the single-cloud eager executor or the flat-batch
-executor, so ``forward`` and ``forward_batch`` share one body and every
-registered network — including DensePoint, LDGCNN and F-PointNet —
-gets batched inference through the generic graph executor for free.
+Since whole-network graphs landed, every network declares its topology
+*once* through a declarative :meth:`PointCloudNetwork._build_graph`
+builder (:class:`~repro.graph.network.NetworkGraphBuilder`): the entire
+network — modules, heads, feature propagation, skip concats — lowers to
+one operator graph per strategy.  ``forward`` interprets it with the
+single-cloud network executor, ``forward_batch`` with the flat-batch
+one, ``trace`` lowers the same graph to the analytic operator stream,
+and the engine's async scheduler substitutes a dependency-driven
+executor that overlaps neighbor search with feature computation
+*across module boundaries* — all from the same program.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..core import ModuleSpec, emit_module_trace
+from ..core import ModuleSpec
+from ..graph import (
+    NetworkBatchedExecutor,
+    NetworkEagerExecutor,
+    build_network_graph,
+    lower_network_trace,
+)
 from ..neighbors import neighbor_search
 from ..neural import Dropout, Linear, Module, ReLU, Sequential, Tensor, concat, stack
-from ..profiling.trace import (
-    ConcatOp,
-    InterpolateOp,
-    MatMulOp,
-    ReduceMaxOp,
-    Trace,
-)
+from ..profiling.trace import Trace
 
 __all__ = [
     "FCHead",
     "FeaturePropagation",
-    "NetworkExecution",
     "PointCloudNetwork",
     "scale_spec",
 ]
@@ -66,110 +69,6 @@ def scale_spec(spec, factor):
     )
 
 
-class NetworkExecution:
-    """Binds a network body to the single-cloud or batched executor.
-
-    ``batch is None`` means one cloud: modules run through the eager
-    graph executor and per-cloud reductions see exactly one cloud.
-    With a batch size, modules run through the batched executor over
-    flat ``batch * n`` feature rows, and the helpers below perform the
-    per-cloud reshapes — the *only* places where single and batched
-    execution differ.
-
-    ``executor`` optionally overrides the single-cloud graph executor
-    for every module the body drives; the engine's async scheduler uses
-    this to substitute its N/F-overlap executor without the network
-    bodies knowing.
-    """
-
-    def __init__(self, network, batch=None, executor=None):
-        self.network = network
-        self.batch = batch
-        self.executor = executor
-
-    @property
-    def batched(self):
-        return self.batch is not None
-
-    @property
-    def nclouds(self):
-        return 1 if self.batch is None else self.batch
-
-    # -- module driving ----------------------------------------------------
-
-    def run_module(self, module, coords, feats, strategy, trace=None):
-        """One module forward; returns its (Batch)ModuleOutput."""
-        if self.batched:
-            return module.forward_batch(coords, feats, strategy=strategy)
-        return module(coords, feats, strategy=strategy, trace=trace,
-                      executor=self.executor)
-
-    def run_encoder(self, modules, coords, feats, strategy, trace=None,
-                    keep_intermediates=False):
-        """Drive an encoder stack; optionally keep per-level outputs."""
-        intermediates = [(coords, feats)]
-        for module in modules:
-            out = self.run_module(module, coords, feats, strategy, trace)
-            coords, feats = out.coords, out.features
-            intermediates.append((coords, feats))
-        if keep_intermediates:
-            return coords, feats, intermediates
-        return coords, feats
-
-    def propagate(self, fp, fine_coords, fine_feats, coarse_coords,
-                  coarse_feats):
-        """One feature-propagation (decoder) step."""
-        if self.batched:
-            return fp.forward_batch(
-                fine_coords, fine_feats, coarse_coords, coarse_feats
-            )
-        return fp(fine_coords, fine_feats, coarse_coords, coarse_feats)
-
-    # -- per-cloud reshapes -------------------------------------------------
-
-    def features_from_coords(self, coords):
-        """Flat feature rows seeding a stage from raw coordinates."""
-        if self.batched:
-            return Tensor(coords.reshape(-1, coords.shape[-1]).copy())
-        return Tensor(coords.copy())
-
-    def global_max(self, feats):
-        """Per-cloud global max over flat rows: (nclouds, C)."""
-        rows = feats.shape[0] // self.nclouds
-        return feats.reshape(self.nclouds, rows, feats.shape[1]).max(axis=1)
-
-    def broadcast(self, pooled, rows_per_cloud):
-        """Repeat each cloud's (1, C) row to its ``rows_per_cloud`` rows."""
-        idx = np.repeat(np.arange(self.nclouds), rows_per_cloud)
-        return pooled.gather(idx)
-
-    def rows_per_cloud(self, feats):
-        return feats.shape[0] // self.nclouds
-
-    def per_point(self, logits):
-        """Final per-point output: (n, C) single, (batch, n, C) batched."""
-        if not self.batched:
-            return logits
-        rows = logits.shape[0] // self.batch
-        return logits.reshape(self.batch, rows, logits.shape[1])
-
-    def select_top_coords(self, coords, scores, n_select):
-        """Per-cloud top-``n_select`` points by score, mean-centered.
-
-        F-PointNet's mask-to-box handoff: rank points by mask score,
-        keep the best ``n_select`` per cloud and shift them to their
-        centroid (the original's mask-centroid shift).
-        """
-        if not self.batched:
-            order = np.argsort(-scores, kind="stable")[:n_select]
-            selected = coords[order]
-            return selected - selected.mean(axis=0, keepdims=True)
-        per_cloud = scores.reshape(self.batch, -1)
-        order = np.argsort(-per_cloud, axis=1, kind="stable")[:, :n_select]
-        selected = np.take_along_axis(coords, order[:, :, None], axis=1)
-        return selected - selected.mean(axis=1, keepdims=True)
-
-
 class FCHead(Module):
     """Fully-connected classification/regression head."""
 
@@ -189,10 +88,6 @@ class FCHead(Module):
     def forward(self, x):
         return self.net(x)
 
-    def emit_trace(self, trace, rows=1, module="head"):
-        for a, b in zip(self.dims[:-1], self.dims[1:]):
-            trace.add(MatMulOp("F", module, rows=rows, in_dim=a, out_dim=b))
-
 
 class FeaturePropagation(Module):
     """PointNet++ feature propagation (decoder) module.
@@ -202,7 +97,8 @@ class FeaturePropagation(Module):
     ``three_interpolate`` kernel the paper's baseline optimizes), then
     concatenates skip features and applies a unit MLP.
     Delayed-aggregation does not alter FP modules; they contribute to
-    the F phase identically under every strategy.
+    the F phase identically under every strategy, which is why the
+    network graph models them as single ``propagate`` nodes.
     """
 
     K = 3
@@ -251,24 +147,16 @@ class FeaturePropagation(Module):
             interpolated = concat([fine_feats, interpolated], axis=1)
         return self.mlp(interpolated)
 
-    def emit_trace(self, trace, n_coarse):
-        dims = self.mlp.dims
-        trace.add(
-            InterpolateOp(
-                "O", self.name, n_points=self.n_points, k=self.K, feature_dim=dims[0]
-            )
-        )
-        for a, b in zip(dims[:-1], dims[1:]):
-            trace.add(MatMulOp("F", self.name, rows=self.n_points, in_dim=a, out_dim=b))
-
 
 class PointCloudNetwork(Module):
     """Common driver for the benchmark networks.
 
     Subclasses define ``self.encoder`` (a list of PointCloudModules)
-    and implement a single :meth:`_forward_body` against the
-    :class:`NetworkExecution` context — the same body serves the
-    single-cloud and the batched forward — plus :meth:`_emit_trace`.
+    and declare their topology once in :meth:`_build_graph` against a
+    :class:`~repro.graph.network.NetworkGraphBuilder`.  Everything else
+    — single-cloud forward, batched forward, the analytic trace, the
+    N/F-overlap schedule — is derived from the resulting whole-network
+    graph.
     """
 
     #: Short name used in figures, e.g. "PointNet++ (c)".
@@ -286,6 +174,24 @@ class PointCloudNetwork(Module):
         super().__init__()
         self.encoder = list(modules)
         self._rng = rng or np.random.default_rng(0)
+        # Per-(instance, strategy) whole-network graph memo; built
+        # lazily because subclasses attach heads after this runs.
+        self._network_graphs = {}
+
+    # -- the declarative builder --------------------------------------------
+
+    def _build_graph(self, nb):
+        """Emit this network's topology into builder ``nb``."""
+        raise NotImplementedError
+
+    def network_graph(self, strategy="delayed"):
+        """The whole-network graph under ``strategy`` (memoized)."""
+        cached = self._network_graphs.get(strategy)
+        if cached is None:
+            cached = self._network_graphs[strategy] = build_network_graph(
+                self, strategy
+            )
+        return cached
 
     # -- execution -----------------------------------------------------------
 
@@ -296,10 +202,13 @@ class PointCloudNetwork(Module):
     def forward(self, coords, strategy="delayed", trace=None, executor=None):
         """Run the network over one (n_points, 3) cloud.
 
-        ``executor`` optionally substitutes the single-cloud graph
-        executor for every module (see :class:`NetworkExecution`).
-        Returns task-dependent output (class logits, per-point logits,
-        or detection dict).
+        ``executor`` optionally substitutes the whole-network graph
+        executor (anything with the
+        :class:`~repro.graph.network.NetworkEagerExecutor`
+        ``run_network`` contract); the engine's async scheduler passes
+        its cross-module N/F-overlap executor here.  Returns
+        task-dependent output (class logits, per-point logits, or a
+        detection dict).
         """
         coords = np.asarray(coords, dtype=np.float64)
         if coords.shape != (self.n_points, 3):
@@ -307,18 +216,21 @@ class PointCloudNetwork(Module):
                 f"{self.name} expects {(self.n_points, 3)} coords, "
                 f"got {coords.shape}"
             )
-        ctx = NetworkExecution(self, executor=executor)
-        feats = ctx.features_from_coords(coords)
-        return self._forward_body(ctx, coords, feats, strategy, trace)
+        ngraph = self.network_graph(strategy)
+        if trace is not None:
+            lower_network_trace(ngraph, trace)
+        if executor is None:
+            executor = NetworkEagerExecutor()
+        return executor.run_network(ngraph, self, coords)
 
     def forward_batch(self, coords, strategy="delayed"):
         """Run the network over a (batch, n_points, 3) stack of clouds.
 
         Classification networks return a (batch, num_classes) Tensor,
         segmentation networks (batch, n_points, num_classes), detection
-        networks a dict of batched tensors.  The same body as
-        :meth:`forward` runs, bound to the batched graph executor: the
-        whole stack goes through batched neighbor search and tall
+        networks a dict of batched tensors.  The same network graph as
+        :meth:`forward` runs, interpreted by the flat-batch executor:
+        the whole stack goes through batched neighbor search and tall
         shared-MLP matrices.
         """
         coords = np.asarray(coords, dtype=np.float64)
@@ -329,12 +241,29 @@ class PointCloudNetwork(Module):
                 f"{self.name} expects (batch, {self.n_points}, 3) coords, "
                 f"got {coords.shape}"
             )
-        ctx = NetworkExecution(self, batch=coords.shape[0])
-        feats = ctx.features_from_coords(coords)
-        return self._forward_body(ctx, coords, feats, strategy, None)
+        return NetworkBatchedExecutor().run_network(
+            self.network_graph(strategy), self, coords
+        )
 
-    def _forward_body(self, ctx, coords, feats, strategy, trace):
-        raise NotImplementedError
+    def forward_composed(self, coords, strategy="delayed"):
+        """Per-module composition: the pre-network-graph execution path.
+
+        Each module region runs through
+        :meth:`~repro.core.module.PointCloudModule.forward` (or
+        ``forward_batch`` for a (B, N, 3) stack) exactly as networks
+        composed modules before whole-network graphs; only the glue
+        interprets the graph.  Kept as the bit-exactness baseline the
+        ``netgraph`` bench row and the equivalence tests measure
+        against.
+        """
+        coords = np.asarray(coords, dtype=np.float64)
+        if coords.ndim == 3:
+            executor = NetworkBatchedExecutor()
+        else:
+            executor = NetworkEagerExecutor()
+        return executor.run_composed(
+            self.network_graph(strategy), self, coords
+        )
 
     @staticmethod
     def stack_outputs(outputs):
@@ -354,28 +283,11 @@ class PointCloudNetwork(Module):
     # -- tracing ------------------------------------------------------------
 
     def trace(self, strategy="original"):
-        """Emit the full-network operator trace at this instance's scale."""
-        t = Trace(self.name, strategy)
-        self._emit_trace(t, strategy)
-        return t
+        """Emit the full-network operator trace at this instance's scale.
 
-    def _emit_trace(self, trace, strategy):
-        raise NotImplementedError
-
-    # -- shared helpers -------------------------------------------------------
-
-    def _emit_encoder_trace(self, trace, strategy):
-        for module in self.encoder:
-            emit_module_trace(module.spec, strategy, trace)
-
-    @staticmethod
-    def _emit_global_max(trace, module, n_points, feature_dim):
-        trace.add(
-            ReduceMaxOp(
-                "F", module, n_centroids=1, k=n_points, feature_dim=feature_dim
-            )
+        Lowered from the same whole-network graph the executors run, so
+        analytics and execution cannot drift.
+        """
+        return lower_network_trace(
+            self.network_graph(strategy), Trace(self.name, strategy)
         )
-
-    @staticmethod
-    def _emit_concat(trace, module, rows, dim):
-        trace.add(ConcatOp("O", module, rows=rows, dim=dim))

@@ -14,7 +14,6 @@ from __future__ import annotations
 import numpy as np
 
 from ..core import ModuleSpec, PointCloudModule
-from ..neural import concat
 from .base import FCHead, PointCloudNetwork, scale_spec
 
 __all__ = ["DensePoint"]
@@ -65,25 +64,23 @@ class DensePoint(PointCloudNetwork):
         self.num_classes = num_classes
         self.head = FCHead([512, 256, 128, num_classes], rng=rng)
 
-    def _forward_body(self, ctx, coords, feats, strategy, trace):
+    def _build_graph(self, nb):
+        coords, feats = nb.input()
         block = []  # features accumulated in the current dense block
         for module, dense in zip(self.encoder, self._dense_flags):
-            if block:
-                module_in = block[0] if len(block) == 1 else concat(block, axis=1)
+            if len(block) > 1:
+                # Dense intra-block concats execute but were never part
+                # of the analytic emission; they stay untraced.
+                module_in = nb.concat(block, rows=module.spec.n_in,
+                                      dim=module.spec.in_dim, label="dense",
+                                      traced=False)
+            elif block:
+                module_in = block[0]
             else:
                 module_in = feats
-            out = ctx.run_module(module, coords, module_in, strategy, trace)
-            coords = out.coords
-            feats = out.features
+            coords, feats = nb.module(module, coords, module_in)
             # A pooling module starts a fresh block; a dense module
             # extends the running concatenation.
             block = block + [feats] if dense else [feats]
         # feats is each cloud's (1, 512) global vector — (nclouds, 512) flat.
-        logits = self.head(feats)
-        if trace is not None:
-            self.head.emit_trace(trace, rows=1)
-        return logits
-
-    def _emit_trace(self, trace, strategy):
-        self._emit_encoder_trace(trace, strategy)
-        self.head.emit_trace(trace, rows=1)
+        nb.output(nb.head(self.head, feats, rows=1))

@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core import ModuleSpec, PointCloudModule
-from ..neural import SharedMLP, concat
+from ..neural import SharedMLP
 from .base import FCHead, PointCloudNetwork, scale_spec
 
 __all__ = ["DGCNNClassification", "DGCNNSegmentation"]
@@ -63,34 +63,20 @@ class DGCNNClassification(PointCloudNetwork):
         self.embed = SharedMLP([skip_dim, 1024], rng=rng)
         self.head = FCHead([1024, 512, 256, num_classes], rng=rng)
 
-    def _forward_body(self, ctx, coords, feats, strategy, trace):
+    def _build_graph(self, nb):
+        coords, feats = nb.input()
         skips = []
         for module in self.encoder:
-            out = ctx.run_module(module, coords, feats, strategy, trace)
-            feats = out.features
+            coords, feats = nb.module(module, coords, feats)
             skips.append(feats)
-        stacked = concat(skips, axis=1)  # (nclouds * n, 512)
-        embedded = self.embed(stacked)   # (nclouds * n, 1024)
-        pooled = ctx.global_max(embedded)  # (nclouds, 1024)
-        logits = self.head(pooled)
-        if trace is not None:
-            self._emit_tail(trace)
-        return logits
-
-    def _emit_tail(self, trace):
         n = self.n_points
-        skip_dim = self.embed.dims[0]
-        self._emit_concat(trace, "skip", rows=n, dim=skip_dim)
-        from ..profiling.trace import MatMulOp
-
-        trace.add(MatMulOp("F", "embed", rows=n, in_dim=skip_dim,
-                           out_dim=self.embed.dims[-1]))
-        self._emit_global_max(trace, "embed", n, self.embed.dims[-1])
-        self.head.emit_trace(trace, rows=1)
-
-    def _emit_trace(self, trace, strategy):
-        self._emit_encoder_trace(trace, strategy)
-        self._emit_tail(trace)
+        stacked = nb.concat(skips, rows=n, dim=self.embed.dims[0],
+                            label="skip")                  # (nclouds * n, 512)
+        embedded = nb.head(self.embed, stacked, rows=n,
+                           label="embed")                  # (nclouds * n, 1024)
+        pooled = nb.global_max(embedded, k=n, dim=self.embed.dims[-1],
+                               label="embed")              # (nclouds, 1024)
+        nb.output(nb.head(self.head, pooled, rows=1))
 
 
 class DGCNNSegmentation(PointCloudNetwork):
@@ -112,35 +98,20 @@ class DGCNNSegmentation(PointCloudNetwork):
         self.embed = SharedMLP([skip_dim, 1024], rng=rng)
         self.head = FCHead([1024 + skip_dim, 256, 256, 128, num_classes], rng=rng)
 
-    def _forward_body(self, ctx, coords, feats, strategy, trace):
+    def _build_graph(self, nb):
+        coords, feats = nb.input()
         skips = []
         for module in self.encoder:
-            out = ctx.run_module(module, coords, feats, strategy, trace)
-            feats = out.features
+            coords, feats = nb.module(module, coords, feats)
             skips.append(feats)
-        stacked = concat(skips, axis=1)  # (nclouds * n, 192)
-        embedded = self.embed(stacked)
-        pooled = ctx.global_max(embedded)  # (nclouds, 1024)
-        n = ctx.rows_per_cloud(stacked)
-        broadcast = ctx.broadcast(pooled, n)  # (nclouds * n, 1024)
-        fused = concat([broadcast, stacked], axis=1)
-        logits = self.head(fused)  # (nclouds * n, num_classes)
-        if trace is not None:
-            self._emit_tail(trace)
-        return ctx.per_point(logits)
-
-    def _emit_tail(self, trace):
         n = self.n_points
-        skip_dim = self.embed.dims[0]
-        from ..profiling.trace import MatMulOp
-
-        self._emit_concat(trace, "skip", rows=n, dim=skip_dim)
-        trace.add(MatMulOp("F", "embed", rows=n, in_dim=skip_dim,
-                           out_dim=self.embed.dims[-1]))
-        self._emit_global_max(trace, "embed", n, self.embed.dims[-1])
-        self._emit_concat(trace, "fuse", rows=n, dim=self.head.dims[0])
-        self.head.emit_trace(trace, rows=n)
-
-    def _emit_trace(self, trace, strategy):
-        self._emit_encoder_trace(trace, strategy)
-        self._emit_tail(trace)
+        stacked = nb.concat(skips, rows=n, dim=self.embed.dims[0],
+                            label="skip")                  # (nclouds * n, 192)
+        embedded = nb.head(self.embed, stacked, rows=n, label="embed")
+        pooled = nb.global_max(embedded, k=n, dim=self.embed.dims[-1],
+                               label="embed")              # (nclouds, 1024)
+        broadcast = nb.broadcast(pooled, rows=n)           # (nclouds * n, 1024)
+        fused = nb.concat([broadcast, stacked], rows=n, dim=self.head.dims[0],
+                          label="fuse")
+        logits = nb.head(self.head, fused, rows=n)  # (nclouds * n, classes)
+        nb.output(logits, per_point=True)

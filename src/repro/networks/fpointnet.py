@@ -60,45 +60,29 @@ class FPointNet(PointCloudNetwork):
         self.box_head = FCHead([512, 256, BOX_DIM + num_classes], rng=rng)
         self._box_n_in = box_specs[0].n_in
 
-    def _forward_body(self, ctx, coords, feats, strategy, trace):
+    def _build_graph(self, nb):
         # Stage 1: instance segmentation over the frustum.
-        _, _, levels = ctx.run_encoder(
-            self.encoder, coords, feats, strategy, trace, keep_intermediates=True
-        )
+        coords, feats = nb.input()
+        levels = nb.encoder(self.encoder, coords, feats)
         (c0, f0), (c1, f1), (c2, f2), (c3, f3) = levels
-        up2 = ctx.propagate(self.fp3, c2, f2, c3, f3)
-        up1 = ctx.propagate(self.fp2, c1, f1, c2, up2)
-        up0 = ctx.propagate(self.fp1, c0, f0, c1, up1)
-        mask_logits = self.mask_head(up0)  # (nclouds * n_points, 2)
+        up2 = nb.propagate(self.fp3, c2, f2, c3, f3)
+        up1 = nb.propagate(self.fp2, c1, f1, c2, up2)
+        up0 = nb.propagate(self.fp1, c0, f0, c1, up1)
+        mask_logits = nb.head(self.mask_head, up0,
+                              rows=self.n_points)  # (nclouds * n_points, 2)
 
         # Stage 2: box estimation over the points ranked most likely to
         # be on the object (differentiable selection is avoided, as in
         # the original: the mask stage is trained with its own loss).
-        scores = mask_logits.data[:, 1] - mask_logits.data[:, 0]
-        # Per-cloud top ranking plus the mask-centroid shift.
-        box_coords = ctx.select_top_coords(coords, scores, self._box_n_in)
-        box_feats = ctx.features_from_coords(box_coords)
+        # The select node ranks per cloud and applies the mask-centroid
+        # shift; the box encoder is a second module chain seeded from
+        # the selected coordinates.
+        box_coords = nb.select(coords, mask_logits, self._box_n_in)
+        box_feats = nb.lift(box_coords)
         for module in self.box_encoder:
-            out = ctx.run_module(module, box_coords, box_feats, strategy, trace)
-            box_coords, box_feats = out.coords, out.features
-        box_out = self.box_head(box_feats)  # (nclouds, BOX_DIM + classes)
+            box_coords, box_feats = nb.module(module, box_coords, box_feats)
+        box_out = nb.head(self.box_head, box_feats,
+                          rows=1)  # (nclouds, BOX_DIM + classes)
 
-        if trace is not None:
-            self._emit_tail(trace)
-        return {"mask_logits": ctx.per_point(mask_logits), "box": box_out}
-
-    def _emit_tail(self, trace):
-        seg_specs = [m.spec for m in self.encoder]
-        self.fp3.emit_trace(trace, n_coarse=seg_specs[2].n_out)
-        self.fp2.emit_trace(trace, n_coarse=seg_specs[1].n_out)
-        self.fp1.emit_trace(trace, n_coarse=seg_specs[0].n_out)
-        self.mask_head.emit_trace(trace, rows=seg_specs[0].n_in)
-        self.box_head.emit_trace(trace, rows=1)
-
-    def _emit_trace(self, trace, strategy):
-        from ..core import emit_module_trace
-
-        self._emit_encoder_trace(trace, strategy)
-        for module in self.box_encoder:
-            emit_module_trace(module.spec, strategy, trace)
-        self._emit_tail(trace)
+        nb.output(mask_logits, name="mask_logits", per_point=True)
+        nb.output(box_out, name="box")

@@ -91,25 +91,13 @@ class GenericPointCloudNetwork(PointCloudNetwork):
         self.paper_n_points = specs[0].n_in
         self.head = FCHead(list(head_dims), rng=rng)
 
-    def _forward_body(self, ctx, coords, feats, strategy, trace):
-        coords, feats = ctx.run_encoder(self.encoder, coords, feats, strategy,
-                                        trace)
-        if self.task == "classification" and ctx.rows_per_cloud(feats) > 1:
-            feats = ctx.global_max(feats)
-        logits = self.head(feats)
-        if trace is not None:
-            self._emit_tail(trace)
-        if self.task == "segmentation":
-            return ctx.per_point(logits)
-        return logits
-
-    def _emit_tail(self, trace):
+    def _build_graph(self, nb):
+        coords, feats = nb.input()
+        _, feats = nb.encoder(self.encoder, coords, feats)[-1]
         last = self.encoder[-1].spec
         if self.task == "classification" and last.n_out > 1:
-            self._emit_global_max(trace, "pool", last.n_out, last.out_dim)
+            feats = nb.global_max(feats, k=last.n_out, dim=last.out_dim,
+                                  label="pool")
         rows = last.n_out if self.task == "segmentation" else 1
-        self.head.emit_trace(trace, rows=rows)
-
-    def _emit_trace(self, trace, strategy):
-        self._emit_encoder_trace(trace, strategy)
-        self._emit_tail(trace)
+        logits = nb.head(self.head, feats, rows=rows)
+        nb.output(logits, per_point=self.task == "segmentation")

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core import ModuleSpec, PointCloudModule
-from ..neural import SharedMLP, concat
+from ..neural import SharedMLP
 from .base import FCHead, PointCloudNetwork, scale_spec
 
 __all__ = ["LDGCNN"]
@@ -55,31 +55,23 @@ class LDGCNN(PointCloudNetwork):
         self.embed = SharedMLP([link_dim, 1024], rng=rng)
         self.head = FCHead([1024, 512, 256, num_classes], rng=rng)
 
-    def _forward_body(self, ctx, coords, feats, strategy, trace):
+    def _build_graph(self, nb):
+        coords, feats = nb.input()
+        n = self.n_points
         links = [feats]  # raw coordinates
         for module in self.encoder:
-            module_in = links[0] if len(links) == 1 else concat(links, axis=1)
-            out = ctx.run_module(module, coords, module_in, strategy, trace)
-            links.append(out.features)
-        fused = concat(links, axis=1)
-        embedded = self.embed(fused)
-        pooled = ctx.global_max(embedded)  # (nclouds, 1024)
-        logits = self.head(pooled)
-        if trace is not None:
-            self._emit_tail(trace)
-        return logits
-
-    def _emit_tail(self, trace):
-        from ..profiling.trace import MatMulOp
-
-        n = self.n_points
-        link_dim = self.embed.dims[0]
-        self._emit_concat(trace, "link", rows=n, dim=link_dim)
-        trace.add(MatMulOp("F", "embed", rows=n, in_dim=link_dim,
-                           out_dim=self.embed.dims[-1]))
-        self._emit_global_max(trace, "embed", n, self.embed.dims[-1])
-        self.head.emit_trace(trace, rows=1)
-
-    def _emit_trace(self, trace, strategy):
-        self._emit_encoder_trace(trace, strategy)
-        self._emit_tail(trace)
+            if len(links) == 1:
+                module_in = links[0]
+            else:
+                # Per-module link concats are real executed glue but
+                # were never part of the analytic emission; they stay
+                # untraced so the trace stream is unchanged.
+                module_in = nb.concat(links, rows=n, dim=module.spec.in_dim,
+                                      label="link", traced=False)
+            coords, feats = nb.module(module, coords, module_in)
+            links.append(feats)
+        fused = nb.concat(links, rows=n, dim=self.embed.dims[0], label="link")
+        embedded = nb.head(self.embed, fused, rows=n, label="embed")
+        pooled = nb.global_max(embedded, k=n, dim=self.embed.dims[-1],
+                               label="embed")  # (nclouds, 1024)
+        nb.output(nb.head(self.head, pooled, rows=1))

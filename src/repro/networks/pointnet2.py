@@ -47,18 +47,12 @@ class PointNet2Classification(PointCloudNetwork):
         self.num_classes = num_classes
         self.head = FCHead([1024, 512, 256, num_classes], dropout=dropout, rng=rng)
 
-    def _forward_body(self, ctx, coords, feats, strategy, trace):
+    def _build_graph(self, nb):
         # sa3 reduces every cloud to one centroid, so the flat encoder
         # output is (nclouds, 1024) and the head batches for free.
-        _, feats = ctx.run_encoder(self.encoder, coords, feats, strategy, trace)
-        logits = self.head(feats)  # (nclouds, num_classes)
-        if trace is not None:
-            self.head.emit_trace(trace, rows=1)
-        return logits
-
-    def _emit_trace(self, trace, strategy):
-        self._emit_encoder_trace(trace, strategy)
-        self.head.emit_trace(trace, rows=1)
+        coords, feats = nb.input()
+        _, feats = nb.encoder(self.encoder, coords, feats)[-1]
+        nb.output(nb.head(self.head, feats, rows=1))
 
 
 class PointNet2Segmentation(PointCloudNetwork):
@@ -83,26 +77,12 @@ class PointNet2Segmentation(PointCloudNetwork):
         self.fp1 = FeaturePropagation("fp1", n[0], (128 + 3, 128, 128, 128), rng=rng)
         self.head = FCHead([128, 128, num_classes], rng=rng)
 
-    def _forward_body(self, ctx, coords, feats, strategy, trace):
-        _, _, levels = ctx.run_encoder(
-            self.encoder, coords, feats, strategy, trace, keep_intermediates=True
-        )
+    def _build_graph(self, nb):
+        coords, feats = nb.input()
+        levels = nb.encoder(self.encoder, coords, feats)
         (c0, f0), (c1, f1), (c2, f2), (c3, f3) = levels
-        up2 = ctx.propagate(self.fp3, c2, f2, c3, f3)
-        up1 = ctx.propagate(self.fp2, c1, f1, c2, up2)
-        up0 = ctx.propagate(self.fp1, c0, f0, c1, up1)
-        logits = self.head(up0)  # (nclouds * n_points, num_classes)
-        if trace is not None:
-            self.fp3.emit_trace(trace, n_coarse=len(c3))
-            self.fp2.emit_trace(trace, n_coarse=len(c2))
-            self.fp1.emit_trace(trace, n_coarse=len(c1))
-            self.head.emit_trace(trace, rows=len(c0))
-        return ctx.per_point(logits)
-
-    def _emit_trace(self, trace, strategy):
-        self._emit_encoder_trace(trace, strategy)
-        specs = [m.spec for m in self.encoder]
-        self.fp3.emit_trace(trace, n_coarse=specs[2].n_out)
-        self.fp2.emit_trace(trace, n_coarse=specs[1].n_out)
-        self.fp1.emit_trace(trace, n_coarse=specs[0].n_out)
-        self.head.emit_trace(trace, rows=specs[0].n_in)
+        up2 = nb.propagate(self.fp3, c2, f2, c3, f3)
+        up1 = nb.propagate(self.fp2, c1, f1, c2, up2)
+        up0 = nb.propagate(self.fp1, c0, f0, c1, up1)
+        logits = nb.head(self.head, up0, rows=self.n_points)
+        nb.output(logits, per_point=True)
