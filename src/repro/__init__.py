@@ -6,6 +6,7 @@ Delayed-Aggregation (Feng, Tian, Xu, Whatmough, Zhu).
 Public subpackages:
 
 * :mod:`repro.core` — the delayed-aggregation primitive
+* :mod:`repro.backend` — multi-backend autograd-free kernel runtime
 * :mod:`repro.neural` — numpy autograd DNN substrate
 * :mod:`repro.neighbors` — neighbor search substrate
 * :mod:`repro.networks` — the seven benchmark networks (Table I)
@@ -17,9 +18,10 @@ Public subpackages:
 
 __version__ = "1.0.0"
 
-from . import core, data, engine, hw, neighbors, networks, neural, profiling
+from . import backend, core, data, engine, hw, neighbors, networks, neural, profiling
 
 __all__ = [
+    "backend",
     "core",
     "data",
     "engine",

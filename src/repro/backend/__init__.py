@@ -1,0 +1,35 @@
+"""Multi-backend inference runtime.
+
+The executors in :mod:`repro.graph` interpret network graphs through
+the autograd :class:`~repro.neural.Tensor` — correct, and the training
+substrate needs it, but pure inference pays graph-construction
+closures and float64 copies it never uses.  This package is the
+runtime layer underneath: an :class:`ArrayBackend` protocol
+(:mod:`repro.backend.array`), a pre-packed parameter exporter
+(:mod:`repro.backend.params`), and a whole-network kernel compiler
+(:mod:`repro.backend.runtime`) that lowers a
+:class:`~repro.graph.network.NetworkGraph` to a flat list of
+autograd-free ndarray kernels.
+
+Two backends ship: ``float64`` (bit-exact against the graph executors)
+and ``float32`` (the BLAS fast path).  The engine selects them through
+``backend=`` on :class:`~repro.engine.BatchRunner` /
+:class:`~repro.engine.AsyncRunner` (``kernel_backend=`` there), and
+``repro bench`` tracks both in its ``backend`` row.
+"""
+
+from .array import ArrayBackend, NumpyBackend, get_backend
+from .params import export_segment, export_stack, segment_layers
+from .runtime import KernelProgram, NetworkKernelExecutor, compile_kernel_program
+
+__all__ = [
+    "ArrayBackend",
+    "KernelProgram",
+    "NetworkKernelExecutor",
+    "NumpyBackend",
+    "compile_kernel_program",
+    "export_segment",
+    "export_stack",
+    "get_backend",
+    "segment_layers",
+]

@@ -1,0 +1,120 @@
+"""Pre-packed parameter tables for the kernel runtime.
+
+The autograd executors walk live :class:`~repro.neural.Module` objects
+on every node dispatch; the kernel runtime instead exports each
+network's weights **once per backend** into flat, backend-dtype ops
+lists.  An exported *stack* is a list of per-Linear *segments*; each
+segment is a tuple of primitive ops
+
+``("linear", W, b)`` — GEMM plus optional bias (``b`` may be ``None``),
+``("bias", b)`` — bias add alone (the limited-variant epilogue re-adds
+the bias its hoisted product dropped),
+``("bn", mean, inv, gamma, beta)`` — inference-mode batch norm with the
+inverse std precomputed exactly as the eval forward computes it,
+``("relu",)`` — the activation.
+
+Export is **inference-only**: a training-mode BatchNorm (whose forward
+uses batch statistics and mutates running stats) or an active Dropout
+cannot be frozen into a kernel table, so exporting one raises — call
+``net.eval()`` first.  On the float64 reference backend the packed
+arrays share memory with the live parameters (no copy); narrower
+backends snapshot a cast copy at export time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..neural.layers import BatchNorm, Dropout, Linear, ReLU
+
+__all__ = ["export_segment", "export_stack", "segment_layers"]
+
+
+def segment_layers(layers):
+    """Split a layer list into per-Linear segments.
+
+    Segment ``i`` starts at the i-th Linear and carries its
+    BatchNorm/ReLU/Dropout tail — the same split the graph executors
+    use, so segment ``i`` is what a graph ``matmul`` node ``layer=i``
+    executes.
+    """
+    layers = list(layers)
+    starts = [i for i, layer in enumerate(layers) if isinstance(layer, Linear)]
+    if not starts:
+        raise TypeError("cannot export a stack with no Linear layers")
+    bounds = starts + [len(layers)]
+    return [layers[a:b] for a, b in zip(starts, bounds[1:])]
+
+
+def _export_array(array, backend):
+    return np.ascontiguousarray(
+        np.asarray(array).astype(backend.dtype, copy=False)
+    )
+
+
+def _tail_ops(layers, backend):
+    """Pack a segment's post-Linear tail (BatchNorm / ReLU / Dropout)."""
+    ops = []
+    for layer in layers:
+        if isinstance(layer, ReLU):
+            ops.append(("relu",))
+        elif isinstance(layer, BatchNorm):
+            if layer.training:
+                raise ValueError(
+                    "kernel backends compile inference programs; a "
+                    "training-mode BatchNorm uses batch statistics — "
+                    "call .eval() on the network before compiling"
+                )
+            # Precompute the inverse std exactly as the eval forward
+            # does, so the float64 reference stays bit-exact.
+            inv = 1.0 / np.sqrt(layer.running_var + layer.eps)
+            ops.append((
+                "bn",
+                _export_array(layer.running_mean, backend),
+                _export_array(inv, backend),
+                _export_array(layer.gamma.data, backend),
+                _export_array(layer.beta.data, backend),
+            ))
+        elif isinstance(layer, Dropout):
+            if layer.training and layer.p > 0.0:
+                raise ValueError(
+                    "kernel backends compile inference programs; an "
+                    "active Dropout cannot be frozen — call .eval() on "
+                    "the network before compiling"
+                )
+            # Inactive dropout is the identity.
+        else:
+            raise TypeError(
+                f"cannot export layer {type(layer).__name__} to a "
+                "kernel backend"
+            )
+    return ops
+
+
+def export_segment(layers, backend, weight_only=False, epilogue=False):
+    """Pack one per-Linear segment into an ops tuple.
+
+    ``weight_only`` exports just the GEMM (the limited variant's
+    hoisted product); ``epilogue`` exports the complementary bias +
+    activation tail the epilogue node replays after aggregation.
+    """
+    linear, tail = layers[0], layers[1:]
+    if not isinstance(linear, Linear):
+        raise TypeError("segment must start with a Linear layer")
+    weight = _export_array(linear.weight.data, backend)
+    bias = None if linear.bias is None else _export_array(linear.bias.data,
+                                                          backend)
+    if weight_only:
+        return (("linear", weight, None),)
+    if epilogue:
+        ops = [] if bias is None else [("bias", bias)]
+        return tuple(ops + _tail_ops(tail, backend))
+    return tuple([("linear", weight, bias)] + _tail_ops(tail, backend))
+
+
+def export_stack(layers, backend):
+    """Pack a whole Linear/.../Linear stack: one ops tuple per segment."""
+    return tuple(
+        export_segment(segment, backend)
+        for segment in segment_layers(layers)
+    )

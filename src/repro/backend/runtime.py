@@ -1,0 +1,625 @@
+"""The whole-network kernel runtime: autograd-free graph execution.
+
+:func:`compile_kernel_program` lowers a strategy-rewritten
+:class:`~repro.graph.network.NetworkGraph` into a
+:class:`KernelProgram` — a flat list of ndarray kernels closed over a
+pre-packed parameter table (:mod:`repro.backend.params`):
+
+* weights are exported **once per backend** at compile time, in the
+  backend's dtype, so a float32 program runs float32 BLAS GEMMs end to
+  end with zero per-call casts;
+* consecutive shared-MLP ``matmul`` nodes fold into a single batched
+  GEMM+bias+ReLU chain kernel running through preallocated ping-pong
+  buffers;
+* gather / reduce-max / subtract (and the fused ``aggregate``) operate
+  on raw arrays with preallocated output buffers — no ``Tensor``
+  wrappers, no ``_from_op`` closures, no autograd bookkeeping on the
+  inference path;
+* centroid sampling is resolved at compile time (it is a deterministic
+  function of the static graph shapes), and neighbor searches run in
+  the backend's search dtype unless the active
+  :func:`~repro.neighbors.search_context` pins one — the engine's
+  :class:`~repro.engine.cache.NeighborIndexCache` keys on that dtype,
+  so float32 and float64 programs never share cache entries.
+
+The float64 reference backend executes the same numpy operations, in
+the same order, as :class:`~repro.graph.network.NetworkEagerExecutor` /
+:class:`~repro.graph.network.NetworkBatchedExecutor`, so its outputs
+are bit-exact against them (CI-gated across all seven networks and all
+three strategies); the float32 backend trades ≤1e-4 relative logit
+error for roughly 2× GEMM throughput.
+
+:class:`NetworkKernelExecutor` adapts the runtime to the executor API
+the rest of the stack speaks: it satisfies the ``run_network`` contract
+of :meth:`repro.networks.base.PointCloudNetwork.forward` (and its
+batched form), memoizing one compiled program per (graph, arity).
+Programs are thread-compatible — scratch buffers live in thread-local
+storage — so one executor instance can serve an
+:class:`~repro.engine.scheduler.AsyncRunner` pipeline.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from ..graph.network import MODULE_KINDS
+from ..neighbors import active_search_options, neighbor_search
+from .array import get_backend
+from .params import export_segment, export_stack, segment_layers
+
+__all__ = ["KernelProgram", "NetworkKernelExecutor", "compile_kernel_program"]
+
+
+class KernelProgram:
+    """A compiled whole-network program: a flat list of ndarray kernels.
+
+    Built by :func:`compile_kernel_program`; :meth:`run` executes the
+    kernels front to back over one cloud (or a ``(B, N, 3)`` stack when
+    compiled ``batched``) and returns the network outputs as inference
+    tensors.  Scratch buffers are preallocated per thread, so a single
+    program may run concurrently from multiple threads.
+    """
+
+    def __init__(self, ngraph, network, backend, batched):
+        self.ngraph = ngraph
+        self.network = network
+        self.backend = get_backend(backend)
+        self.batched = bool(batched)
+        #: ref index -> packed per-segment parameter table.
+        self.params = {}
+        self._kernels = []
+        self._local = threading.local()
+        self._compile()
+
+    # -- compile-time helpers ------------------------------------------------
+
+    def _stages(self, index):
+        """The packed parameter stack of graph ref ``index`` (memoized)."""
+        stack = self.params.get(index)
+        if stack is None:
+            obj = self.ngraph.refs[index]
+            layers = obj.export_layers() if hasattr(obj, "export_layers") \
+                else list(obj.net.layers)
+            stack = self.params[index] = export_stack(layers, self.backend)
+        return stack
+
+    def _buffer(self, ctx, key, shape):
+        """Per-thread scratch buffer for one kernel output."""
+        buffers = ctx["buffers"]
+        buf = buffers.get(key)
+        if buf is None or buf.shape != tuple(shape):
+            buf = self.backend.empty(shape)
+            buffers[key] = buf
+        return buf
+
+    def _search_dtype(self):
+        """Backend search dtype, unless the active context pins one."""
+        context = active_search_options()["dtype"]
+        return context if context is not None else self.backend.search_dtype
+
+    def _apply_ops(self, ops, x, ctx, key):
+        """Run one packed segment's ops; GEMMs go to preallocated buffers."""
+        backend = self.backend
+        for i, op in enumerate(ops):
+            kind = op[0]
+            if kind == "linear":
+                out = self._buffer(ctx, (key, i), (x.shape[0], op[1].shape[1]))
+                x = backend.matmul(x, op[1], out=out)
+                if op[2] is not None:
+                    backend.add_bias(x, op[2])
+            elif kind == "bias":
+                x = backend.add_bias(x, op[1])
+            elif kind == "relu":
+                x = backend.relu(x)
+            else:  # ("bn", mean, inv, gamma, beta) — eval-mode batch norm
+                x = x - op[1]
+                x *= op[2]
+                x *= op[3]
+                x += op[4]
+        return x
+
+    # -- compilation ---------------------------------------------------------
+
+    def _compile(self):
+        graph = self.ngraph.graph
+        consumed = set()
+        for position, node in enumerate(graph.nodes):
+            if node.id in consumed:
+                continue
+            if node.kind in MODULE_KINDS:
+                kernel = self._compile_module_node(graph, position, node,
+                                                   consumed)
+            else:
+                kernel = self._compile_network_node(graph, node)
+            self._kernels.append((f"{node.kind}:{node.id}", kernel))
+
+    def _compile_module_node(self, graph, position, node, consumed):
+        kind = node.kind
+        midx = node.attrs["module"]
+        if kind == "sample":
+            return self._k_sample(node, midx)
+        if kind == "search":
+            return self._k_search(node, midx)
+        if kind == "matmul":
+            return self._k_matmul_chain(graph, position, node, midx, consumed)
+        if kind == "aggregate":
+            return self._k_aggregate(node, midx)
+        if kind == "gather":
+            return self._k_gather(node, midx)
+        if kind == "subtract":
+            return self._k_subtract(node, midx)
+        if kind == "reduce_max":
+            return self._k_reduce_max(node, midx)
+        if kind == "epilogue":
+            return self._k_epilogue(graph, node, midx)
+        raise ValueError(f"kernel runtime cannot compile kind {kind!r}")
+
+    def _compile_network_node(self, graph, node):
+        kind = node.kind
+        if kind == "coords":
+            return self._k_coords(node)
+        if kind == "lift":
+            return self._k_lift(node)
+        if kind == "concat":
+            return self._k_concat(node)
+        if kind == "head":
+            return self._k_head(node)
+        if kind == "propagate":
+            return self._k_propagate(node)
+        if kind == "global_max":
+            return self._k_global_max(node)
+        if kind == "broadcast":
+            return self._k_broadcast(node)
+        if kind == "select":
+            return self._k_select(node)
+        raise ValueError(f"kernel runtime cannot compile kind {kind!r}")
+
+    # -- module-region kernels ----------------------------------------------
+
+    def _centroid_rows(self, ctx, midx):
+        """Centroid rows in the flat feature table (batched: lifted)."""
+        return ctx["crows"][midx]
+
+    def _k_sample(self, node, midx):
+        module = self.ngraph.refs[midx]
+        n_in = node.attrs["n_points"]
+        # Sampling is a deterministic function of the static input
+        # scale, so the centroid ids are a compile-time constant.
+        local = np.asarray(module._sample_centroids(n_in))
+        nid, batched = node.id, self.batched
+
+        def kernel(env, ctx):
+            env[nid] = local
+            if batched:
+                base = (np.arange(ctx["batch"], dtype=np.int64) * n_in)[:, None]
+                ctx["crows"][midx] = (local[None, :] + base).reshape(-1)
+            else:
+                ctx["crows"][midx] = local
+
+        return kernel
+
+    def _k_search(self, node, midx):
+        attrs = node.attrs
+        n_in, k = attrs["n_points"], attrs["k"]
+        feature_space = attrs["space"] != "coords"
+        in_dim = attrs["dim"]
+        signature = attrs["signature"]
+        coords_id, feats_id = attrs["coords"], attrs["feats"]
+        module = self.ngraph.refs[midx]
+        local = np.asarray(module._sample_centroids(n_in))
+        nid, batched = node.id, self.batched
+
+        def kernel(env, ctx):
+            if feature_space:
+                space = env[feats_id]
+                if batched:
+                    space = space.reshape(ctx["batch"], n_in, in_dim)
+            else:
+                space = env[coords_id]
+            queries = space[:, local] if batched else space[local]
+            indices, _ = neighbor_search(
+                space, queries, k, dtype=self._search_dtype(), tag=signature
+            )
+            if batched:
+                base = (np.arange(ctx["batch"], dtype=np.int64) * n_in)
+                rows = (indices + base[:, None, None]).reshape(
+                    ctx["batch"] * indices.shape[1], k
+                )
+            else:
+                rows = indices
+            ctx["rows"][midx] = rows
+            env[nid] = rows
+
+        return kernel
+
+    def _k_matmul_chain(self, graph, position, node, midx, consumed):
+        """Fold a run of consecutive matmul nodes into one chain kernel.
+
+        A node joins the chain when it is the sole consumer of its
+        predecessor, so only the final value is externally visible and
+        the intermediates can live entirely in the chain's ping-pong
+        buffers.
+        """
+        module = self.ngraph.refs[midx]
+        segments = segment_layers(module.mlp.export_layers())
+        chain = [node]
+        nodes = graph.nodes
+        for follower in nodes[position + 1:]:
+            if (follower.kind == "matmul"
+                    and follower.attrs.get("module") == midx
+                    and follower.inputs == (chain[-1].id,)
+                    and len(graph.consumers(chain[-1].id)) == 1):
+                chain.append(follower)
+            else:
+                break
+        consumed.update(n.id for n in chain[1:])
+        specs = []
+        for link in chain:
+            ops = export_segment(
+                segments[link.attrs["layer"]], self.backend,
+                weight_only=bool(link.attrs.get("weight_only")),
+            )
+            specs.append((link.id, ops))
+        source = chain[0].inputs[0]
+        last = chain[-1].id
+
+        def kernel(env, ctx):
+            x = env[source]
+            for link_id, ops in specs:
+                x = self._apply_ops(ops, x, ctx, ("mm", link_id))
+            env[last] = x
+
+        return kernel
+
+    def _k_aggregate(self, node, midx):
+        reduce = bool(node.attrs["reduce"])
+        k, dim = node.attrs["k"], node.attrs["dim"]
+        source = node.inputs[0]
+        nid = node.id
+        backend = self.backend
+
+        def kernel(env, ctx):
+            src = env[source]
+            rows = ctx["rows"][midx]
+            crows = self._centroid_rows(ctx, midx)
+            n_rows = rows.shape[0]
+            gathered = np.take(
+                src, rows, axis=0,
+                out=self._buffer(ctx, ("agg-g", nid), (n_rows, k, dim)),
+            )
+            if reduce:
+                reduced = backend.reduce_max(
+                    gathered, axis=1,
+                    out=self._buffer(ctx, ("agg-r", nid), (n_rows, dim)),
+                )
+                env[nid] = backend.subtract(
+                    reduced, src[crows],
+                    out=self._buffer(ctx, ("agg-o", nid), (n_rows, dim)),
+                )
+            else:
+                centroids = src[crows].reshape(n_rows, 1, dim)
+                backend.subtract(gathered, centroids, out=gathered)
+                env[nid] = gathered.reshape(n_rows * k, dim)
+
+        return kernel
+
+    def _k_gather(self, node, midx):
+        source, nid = node.inputs[0], node.id
+        k = node.attrs["k"]
+        dim = node.attrs["feature_dim"]
+
+        def kernel(env, ctx):
+            rows = ctx["rows"][midx]
+            env[nid] = np.take(
+                env[source], rows, axis=0,
+                out=self._buffer(ctx, ("gth", nid), (rows.shape[0], k, dim)),
+            )
+
+        return kernel
+
+    def _k_subtract(self, node, midx):
+        pre = node.attrs["mode"] == "pre"
+        nid = node.id
+        backend = self.backend
+        a, b = node.inputs[0], node.inputs[1]
+
+        def kernel(env, ctx):
+            crows = self._centroid_rows(ctx, midx)
+            source = env[b]
+            if pre:
+                gathered = env[a]
+                n_rows, k, dim = gathered.shape
+                centroids = source[crows].reshape(n_rows, 1, dim)
+                out = backend.subtract(
+                    gathered, centroids,
+                    out=self._buffer(ctx, ("sub", nid), gathered.shape),
+                )
+                env[nid] = out.reshape(n_rows * k, dim)
+            else:
+                reduced = env[a]
+                env[nid] = backend.subtract(
+                    reduced, source[crows],
+                    out=self._buffer(ctx, ("sub", nid), reduced.shape),
+                )
+
+        return kernel
+
+    def _k_reduce_max(self, node, midx):
+        source, nid = node.inputs[0], node.id
+        backend = self.backend
+
+        def kernel(env, ctx):
+            x = env[source]
+            if x.ndim == 2:
+                # Un-fused original/limited path: rows*k flat rows back
+                # to (rows, k, dim) before the neighborhood reduction.
+                k = ctx["rows"][midx].shape[1]
+                x = x.reshape(x.shape[0] // k, k, x.shape[1])
+            env[nid] = backend.reduce_max(
+                x, axis=1,
+                out=self._buffer(ctx, ("max", nid), (x.shape[0], x.shape[2])),
+            )
+
+        return kernel
+
+    def _k_epilogue(self, graph, node, midx):
+        module = self.ngraph.refs[midx]
+        segments = segment_layers(module.mlp.export_layers())
+        ops = export_segment(segments[node.attrs["layer"]], self.backend,
+                             epilogue=True)
+        source, nid = node.inputs[0], node.id
+        # The epilogue runs in place; copy first unless it is the sole
+        # consumer of its input.
+        shared = len(graph.consumers(source)) > 1
+
+        def kernel(env, ctx):
+            x = env[source]
+            if shared:
+                x = x.copy()
+            env[nid] = self._apply_ops(ops, x, ctx, ("epi", nid))
+
+        return kernel
+
+    # -- network-level kernels ----------------------------------------------
+
+    def _k_coords(self, node):
+        nid, batched = node.id, self.batched
+        if not node.inputs:
+            def kernel(env, ctx):
+                env[nid] = ctx["coords"]
+            return kernel
+        prev, sample = node.inputs
+
+        def kernel(env, ctx):
+            idx = env[sample]
+            env[nid] = env[prev][:, idx] if batched else env[prev][idx]
+
+        return kernel
+
+    def _k_lift(self, node):
+        source, nid, batched = node.inputs[0], node.id, self.batched
+
+        def kernel(env, ctx):
+            coords = env[source]
+            env[nid] = coords.reshape(-1, coords.shape[-1]) if batched \
+                else coords
+
+        return kernel
+
+    def _k_concat(self, node):
+        sources = node.inputs
+        axis = node.attrs.get("axis", 1)
+        nid = node.id
+
+        def kernel(env, ctx):
+            parts = [env[i] for i in sources]
+            shape = list(parts[0].shape)
+            shape[axis] = sum(p.shape[axis] for p in parts)
+            env[nid] = np.concatenate(
+                parts, axis=axis, out=self._buffer(ctx, ("cat", nid), shape)
+            )
+
+        return kernel
+
+    def _k_head(self, node):
+        stages = self._stages(node.attrs["ref"])
+        source, nid = node.inputs[0], node.id
+
+        def kernel(env, ctx):
+            x = env[source]
+            for si, ops in enumerate(stages):
+                x = self._apply_ops(ops, x, ctx, ("head", nid, si))
+            env[nid] = x
+
+        return kernel
+
+    def _k_propagate(self, node):
+        fp = self.ngraph.refs[node.attrs["ref"]]
+        stages = self._stages(node.attrs["ref"])
+        cap = fp.K
+        fine_c, fine_f, coarse_c, coarse_f = node.inputs
+        nid, batched = node.id, self.batched
+        backend = self.backend
+
+        def kernel(env, ctx):
+            fine_coords = env[fine_c]
+            coarse_coords = env[coarse_c]
+            coarse_feats = env[coarse_f]
+            n_coarse = coarse_coords.shape[1] if batched \
+                else len(coarse_coords)
+            k = min(cap, n_coarse)
+            # Unlike module searches (index-only: neighbor order washes
+            # out in the max-reduction), interpolation consumes the
+            # *distances* — inverse-distance weights shift whenever a
+            # float32 search reorders near-tied coarse neighbors.  Keep
+            # propagation searches at the context default (float64)
+            # so the float32 backend stays within its logit tolerance.
+            idx, dist = neighbor_search(coarse_coords, fine_coords, k)
+            weights = 1.0 / np.maximum(dist, 1e-8)
+            if batched:
+                weights = weights / weights.sum(axis=-1, keepdims=True)
+            else:
+                weights = weights / weights.sum(axis=1, keepdims=True)
+            weights = weights.astype(backend.dtype, copy=False)
+            if batched:
+                batch, n_fine = fine_coords.shape[0], fine_coords.shape[1]
+                base = (np.arange(batch, dtype=np.int64)
+                        * n_coarse)[:, None, None]
+                idx = (idx + base).reshape(batch * n_fine, k)
+                weights = weights.reshape(batch * n_fine, k)
+            gathered = coarse_feats[idx]
+            x = (gathered * weights[:, :, None]).sum(axis=1)
+            x = np.concatenate([env[fine_f], x], axis=1)
+            for si, ops in enumerate(stages):
+                x = self._apply_ops(ops, x, ctx, ("fp", nid, si))
+            env[nid] = x
+
+        return kernel
+
+    def _k_global_max(self, node):
+        source, nid = node.inputs[0], node.id
+        backend = self.backend
+
+        def kernel(env, ctx):
+            x = env[source]
+            nclouds = ctx["batch"]
+            rows = x.shape[0] // nclouds
+            env[nid] = backend.reduce_max(
+                x.reshape(nclouds, rows, x.shape[1]), axis=1,
+                out=self._buffer(ctx, ("gm", nid), (nclouds, x.shape[1])),
+            )
+
+        return kernel
+
+    def _k_broadcast(self, node):
+        source, nid = node.inputs[0], node.id
+        rows = node.attrs["rows"]
+
+        def kernel(env, ctx):
+            idx = np.repeat(np.arange(ctx["batch"]), rows)
+            x = env[source]
+            env[nid] = np.take(
+                x, idx, axis=0,
+                out=self._buffer(ctx, ("bc", nid), (len(idx), x.shape[1])),
+            )
+
+        return kernel
+
+    def _k_select(self, node):
+        coords_id, scores_id = node.inputs
+        n_select = node.attrs["n_select"]
+        nid, batched = node.id, self.batched
+
+        def kernel(env, ctx):
+            logits = env[scores_id]
+            scores = logits[:, 1] - logits[:, 0]
+            coords = env[coords_id]
+            if batched:
+                per_cloud = scores.reshape(ctx["batch"], -1)
+                order = np.argsort(-per_cloud, axis=1,
+                                   kind="stable")[:, :n_select]
+                selected = np.take_along_axis(coords, order[:, :, None],
+                                              axis=1)
+                env[nid] = selected - selected.mean(axis=1, keepdims=True)
+            else:
+                order = np.argsort(-scores, kind="stable")[:n_select]
+                selected = coords[order]
+                env[nid] = selected - selected.mean(axis=0, keepdims=True)
+
+        return kernel
+
+    # -- execution -----------------------------------------------------------
+
+    def _buffers(self):
+        buffers = getattr(self._local, "buffers", None)
+        if buffers is None:
+            buffers = self._local.buffers = {}
+        return buffers
+
+    def run(self, coords):
+        """Execute the program over one cloud (or a batched stack).
+
+        Returns the network outputs as inference :class:`~repro.neural.Tensor`
+        values (a dict for multi-output networks), matching the network
+        executors' contract.  Output arrays are fresh copies — scratch
+        buffers never escape a run.
+        """
+        from ..neural import Tensor
+
+        coords = self.backend.asarray(np.asarray(coords))
+        if self.batched and coords.ndim != 3:
+            raise ValueError(
+                f"batched program expects (batch, n, 3) coords, "
+                f"got {coords.shape}"
+            )
+        if not self.batched and coords.ndim != 2:
+            raise ValueError(
+                f"single-cloud program expects (n, 3) coords, "
+                f"got {coords.shape}"
+            )
+        ctx = {
+            "coords": coords,
+            "batch": coords.shape[0] if self.batched else 1,
+            "rows": {},
+            "crows": {},
+            "buffers": self._buffers(),
+        }
+        env = {}
+        for _, kernel in self._kernels:
+            kernel(env, ctx)
+        values = {}
+        for out in self.ngraph.outputs:
+            value = env[out.node].copy()
+            if out.per_point and self.batched:
+                rows = value.shape[0] // ctx["batch"]
+                value = value.reshape(ctx["batch"], rows, value.shape[1])
+            values[out.name] = Tensor(value)
+        if len(values) == 1 and None in values:
+            return values[None]
+        return values
+
+
+def compile_kernel_program(network, strategy="delayed", backend="float64",
+                           batched=False):
+    """Compile ``network`` under ``strategy`` into a :class:`KernelProgram`.
+
+    The network's whole-network graph (memoized on the instance) is
+    lowered against ``backend`` (a name, dtype or
+    :class:`~repro.backend.array.ArrayBackend`); ``batched`` selects
+    the flat-batch arity.
+    """
+    return KernelProgram(network.network_graph(strategy), network,
+                         get_backend(backend), batched)
+
+
+class NetworkKernelExecutor:
+    """Kernel-runtime executor behind the standard ``run_network`` API.
+
+    Drop-in wherever the network executors plug in —
+    ``network.forward(cloud, executor=NetworkKernelExecutor("float32"))``
+    — and the serving entry point the engine's ``backend=`` parameters
+    construct.  Single-cloud and batched programs are compiled lazily,
+    once per (graph, arity), and cached on the executor; thread-local
+    scratch keeps one executor safe to share across an async pipeline.
+    """
+
+    def __init__(self, backend="float64"):
+        self.backend = get_backend(backend)
+        self._programs = {}
+
+    def program(self, ngraph, network, batched):
+        """The compiled program for ``ngraph`` at the given arity."""
+        key = (id(ngraph), bool(batched))
+        entry = self._programs.get(key)
+        if entry is None or entry[0] is not ngraph:
+            entry = (ngraph,
+                     KernelProgram(ngraph, network, self.backend, batched))
+            self._programs[key] = entry
+        return entry[1]
+
+    def run_network(self, ngraph, network, coords):
+        """Execute ``ngraph`` over ``coords`` ((n, 3) or (B, n, 3))."""
+        coords = np.asarray(coords)
+        return self.program(ngraph, network, coords.ndim == 3).run(coords)

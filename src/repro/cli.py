@@ -131,6 +131,7 @@ def _cmd_bench(args):
         strategy=args.strategy,
         repeats=args.repeats,
         quick=args.quick,
+        backend=args.backend,
     )
     knn = results["knn"]
     ball = results["ball"]
@@ -171,6 +172,15 @@ def _cmd_bench(args):
           f"bit-exact {'yes' if ng['bit_exact'] else 'NO'}   "
           f"({ng['cross_module_overlap_steps']} cross-module overlap "
           f"step(s))")
+    be = results["backend"]
+    print(f"  backend  eager {be['eager_batched_ms']:8.2f} ms   "
+          f"float64 {be['kernel64_batched_ms']:8.2f} ms "
+          f"({be['speedup_kernel64_batched']:.2f}x, "
+          f"bit-exact {'yes' if be['bit_exact_float64'] else 'NO'})   "
+          f"{be['fast_backend']} {be['kernel_fast_batched_ms']:8.2f} ms "
+          f"({be['speedup_fast_batched']:.2f}x, "
+          f"rel err {be['fast_max_rel_err']:.1e}, "
+          f"top-1 {'ok' if be['fast_argmax_equal'] else 'DIFFERS'})")
     write_json(results, args.output)
     print(f"wrote {args.output}")
     return 0
@@ -217,6 +227,11 @@ def build_parser():
     p_bench.add_argument("--repeats", type=int, default=3)
     p_bench.add_argument("--quick", action="store_true",
                          help="tiny workloads (CI smoke)")
+    p_bench.add_argument("--backend", default="float32",
+                         choices=("float32", "float64"),
+                         help="kernel-runtime fast path the backend row "
+                              "measures against eager (the float64 "
+                              "reference is always included)")
     p_bench.add_argument("--output", default="BENCH_engine.json")
 
     return parser

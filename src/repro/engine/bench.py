@@ -196,6 +196,7 @@ def bench_forward(network="PointNet++ (c)", batch=16, scale=0.125,
             "n_points": net.n_points,
             "scale": scale,
         },
+        "baseline": "sequential per-cloud forward loop",
         "sequential_ms": sequential_ms,
         "batched_ms": batched_ms,
         "batched_cached_ms": cached_ms,
@@ -359,19 +360,37 @@ def bench_sched(network="PointNet++ (c)", batch=16, scale=0.5,
     }
 
 
+def _output_leaves(reference, other):
+    """Yield (reference, other) array pairs across an output structure.
+
+    The single traversal every output comparison in this module goes
+    through; a missing dict key or truncated list is a structure
+    mismatch and raises rather than silently comparing a subset.
+    """
+    if isinstance(reference, dict):
+        if set(reference) != set(other):
+            raise ValueError("output structures disagree (dict keys)")
+        for key in reference:
+            yield from _output_leaves(reference[key], other[key])
+    elif isinstance(reference, (list, tuple)):
+        if len(reference) != len(other):
+            raise ValueError("output structures disagree (lengths)")
+        for a, b in zip(reference, other):
+            yield from _output_leaves(a, b)
+    else:
+        yield (
+            np.asarray(reference.data if hasattr(reference, "data")
+                       else reference),
+            np.asarray(other.data if hasattr(other, "data") else other),
+        )
+
+
 def _outputs_equal(left, right):
     """Exact equality across the output shapes the networks return."""
-    if isinstance(left, dict):
-        return set(left) == set(right) and all(
-            _outputs_equal(left[key], right[key]) for key in left
-        )
-    if isinstance(left, (list, tuple)):
-        return len(left) == len(right) and all(
-            _outputs_equal(a, b) for a, b in zip(left, right)
-        )
-    left = left.data if hasattr(left, "data") else left
-    right = right.data if hasattr(right, "data") else right
-    return bool(np.array_equal(np.asarray(left), np.asarray(right)))
+    try:
+        return all(np.array_equal(a, b) for a, b in _output_leaves(left, right))
+    except ValueError:
+        return False
 
 
 def bench_netgraph(network="PointNet++ (c)", batch=8, scale=0.25,
@@ -457,6 +476,122 @@ def bench_netgraph(network="PointNet++ (c)", batch=8, scale=0.25,
     }
 
 
+def _max_rel_err(reference, other):
+    """Largest |other - reference| relative to each output's max magnitude.
+
+    Non-finite deviations (NaN/inf in either side) and deviations from
+    an all-zero reference report ``inf``, never a passable number — a
+    numerically broken backend must not slip through a ``<= tol`` gate.
+    """
+    worst = 0.0
+    for a, b in _output_leaves(reference, other):
+        diff = np.abs(np.asarray(b, dtype=np.float64) - a).max()
+        if not np.isfinite(diff):
+            return float("inf")
+        scale = np.abs(a).max()
+        if scale == 0.0:
+            if diff != 0.0:
+                return float("inf")
+            continue
+        worst = max(worst, float(diff / scale))
+    return worst
+
+
+def _argmax_equal(reference, other):
+    """Whether top-1 predictions agree across the output structure."""
+    return all(
+        np.array_equal(a.argmax(axis=-1), b.argmax(axis=-1))
+        for a, b in _output_leaves(reference, other)
+    )
+
+
+def bench_backend(network="PointNet++ (c)", batch=16, scale=0.125,
+                  strategy="delayed", repeats=3, seed=0, fast="float32"):
+    """Kernel runtime (float64 reference + BLAS fast path) vs eager.
+
+    Serial: a per-cloud loop through the single-cloud programs vs the
+    eager network-graph executor.  Batched: :class:`BatchRunner` with
+    ``backend=`` vs the batched graph interpreter, over the same
+    stack.  Alongside the timings the row records the correctness
+    story CI gates on: the float64 programs must match the autograd
+    executors bit-exactly, and the fast backend must stay within 1e-4
+    relative logit error with identical top-1 predictions.
+    """
+    from ..backend import NetworkKernelExecutor, get_backend
+
+    fast = get_backend(fast)
+    net = build_network(network, scale=scale)
+    rng = np.random.default_rng(seed)
+    clouds = rng.normal(size=(batch, net.n_points, 3))
+
+    eager_runner = BatchRunner(net, strategy=strategy)
+    k64_runner = BatchRunner(net, strategy=strategy, backend="float64")
+    fast_runner = BatchRunner(net, strategy=strategy, backend=fast)
+
+    ngraph = net.network_graph(strategy)
+    k64 = NetworkKernelExecutor("float64")
+    kfast = NetworkKernelExecutor(fast)
+
+    def serial_eager():
+        with no_grad():
+            return [net.forward(c, strategy=strategy) for c in clouds]
+
+    def serial_kernel(executor):
+        with no_grad():
+            return [net.forward(c, strategy=strategy, executor=executor)
+                    for c in clouds]
+
+    # Correctness first: the timings below re-run the same programs.
+    eager_batched = eager_runner.run(clouds)
+    k64_batched = k64_runner.run(clouds)
+    fast_batched = fast_runner.run(clouds)
+    exact = _outputs_equal(k64_batched.outputs, eager_batched.outputs) and all(
+        _outputs_equal(a, b)
+        for a, b in zip(serial_kernel(k64), serial_eager())
+    )
+    fast_rel = _max_rel_err(eager_batched.outputs, fast_batched.outputs)
+    fast_argmax = _argmax_equal(eager_batched.outputs, fast_batched.outputs)
+
+    # Interleave the measurements so clock drift hits all sides equally.
+    eager_serial_ms = kernel_serial_ms = fast_serial_ms = float("inf")
+    eager_ms = kernel_ms = fast_ms = float("inf")
+    for _ in range(max(1, repeats)):
+        eager_serial_ms = min(eager_serial_ms, _best_ms(serial_eager, 1))
+        kernel_serial_ms = min(kernel_serial_ms,
+                               _best_ms(lambda: serial_kernel(k64), 1))
+        fast_serial_ms = min(fast_serial_ms,
+                             _best_ms(lambda: serial_kernel(kfast), 1))
+        eager_ms = min(eager_ms, _best_ms(lambda: eager_runner.run(clouds), 1))
+        kernel_ms = min(kernel_ms, _best_ms(lambda: k64_runner.run(clouds), 1))
+        fast_ms = min(fast_ms, _best_ms(lambda: fast_runner.run(clouds), 1))
+
+    return {
+        "workload": {
+            "network": network,
+            "strategy": strategy,
+            "batch": batch,
+            "n_points": net.n_points,
+            "scale": scale,
+        },
+        "baseline": "autograd graph executors (eager serial + batched)",
+        "fast_backend": fast.name,
+        "graph_nodes": ngraph.node_count,
+        "eager_serial_ms": eager_serial_ms,
+        "eager_batched_ms": eager_ms,
+        "kernel64_serial_ms": kernel_serial_ms,
+        "kernel64_batched_ms": kernel_ms,
+        "kernel_fast_serial_ms": fast_serial_ms,
+        "kernel_fast_batched_ms": fast_ms,
+        "speedup_kernel64_serial": eager_serial_ms / kernel_serial_ms,
+        "speedup_kernel64_batched": eager_ms / kernel_ms,
+        "speedup_fast_serial": eager_serial_ms / fast_serial_ms,
+        "speedup_fast_batched": eager_ms / fast_ms,
+        "bit_exact_float64": bool(exact),
+        "fast_max_rel_err": fast_rel,
+        "fast_argmax_equal": bool(fast_argmax),
+    }
+
+
 def bench_parallel(n_clouds=8, n_points=512, k=16, repeats=1, seed=0):
     """k-d tree NIT builds (unbatchable) serial vs multi-core processes."""
     rng = np.random.default_rng(seed)
@@ -470,6 +605,7 @@ def bench_parallel(n_clouds=8, n_points=512, k=16, repeats=1, seed=0):
     parallel_ms = _best_ms(lambda: runner.map(kdtree_nit_task, tasks), repeats)
     return {
         "workload": {"n_clouds": n_clouds, "n_points": n_points, "k": k},
+        "baseline": "serial per-cloud k-d tree sweep",
         "workers": workers,
         "serial_ms": serial_ms,
         "parallel_ms": parallel_ms,
@@ -481,7 +617,10 @@ def bench_substrates(n_points=1024, k=16, queries=256, repeats=3, seed=0):
     """One cloud through each substrate behind the common API."""
     rng = np.random.default_rng(seed)
     cloud = rng.normal(size=(n_points, 3))
-    out = {"workload": {"n_points": n_points, "k": k, "queries": queries}}
+    out = {
+        "workload": {"n_points": n_points, "k": k, "queries": queries},
+        "baseline": "brute-force kernel behind the common substrate API",
+    }
     for substrate in ("brute", "kdtree", "grid"):
         out[f"{substrate}_ms"] = _best_ms(
             lambda s=substrate: raw_knn(cloud, cloud[:queries], k, substrate=s),
@@ -491,8 +630,18 @@ def bench_substrates(n_points=1024, k=16, queries=256, repeats=3, seed=0):
 
 
 def run_benchmarks(batch=16, n_points=1024, k=16, network="PointNet++ (c)",
-                   scale=0.125, strategy="delayed", repeats=3, quick=False):
-    """Run the full suite; ``quick`` shrinks workloads for CI smoke runs."""
+                   scale=0.125, strategy="delayed", repeats=3, quick=False,
+                   backend="float32"):
+    """Run the full suite; ``quick`` shrinks workloads for CI smoke runs.
+
+    Every row shares the same JSON shape — a ``workload`` dict naming
+    the configuration, a ``baseline`` string naming what the row
+    measures against, then its timings/speedups — so the
+    ``BENCH_engine.json`` trajectory stays machine-comparable PR over
+    PR as rows accumulate.  ``backend`` selects the kernel-runtime fast
+    path the ``backend`` row measures (the float64 reference is always
+    included).
+    """
     if batch < 1:
         raise ValueError("batch must be at least 1")
     if not 0 < k <= n_points:
@@ -542,6 +691,14 @@ def run_benchmarks(batch=16, n_points=1024, k=16, network="PointNet++ (c)",
             scale=scale if quick else max(scale, 0.25),
             strategy=strategy,
             repeats=max(1, repeats - 1),
+        ),
+        "backend": bench_backend(
+            network=network,
+            batch=batch,
+            scale=scale,
+            strategy=strategy,
+            repeats=max(1, repeats - 1),
+            fast=backend,
         ),
         "parallel": bench_parallel(
             n_clouds=max(2, batch // 2), n_points=max(128, n_points // 2), k=k

@@ -55,11 +55,19 @@ class BatchRunner:
         set, repeated clouds skip their searches entirely.
     dtype:
         Search precision (e.g. ``np.float32`` to halve search memory
-        traffic; network arithmetic itself stays float64).
+        traffic; network arithmetic itself stays float64 unless a
+        kernel ``backend`` is selected).
+    backend:
+        Optional kernel backend (``"float64"``, ``"float32"``, or an
+        :class:`~repro.backend.ArrayBackend`).  When set, :meth:`run`
+        executes the compiled autograd-free kernel program
+        (:class:`~repro.backend.NetworkKernelExecutor`) instead of the
+        batched graph interpreter, and — unless ``dtype`` pins one —
+        neighbor searches run in the backend's dtype too.
     """
 
     def __init__(self, network, strategy="delayed", substrate="brute",
-                 cache=None, dtype=None):
+                 cache=None, dtype=None, backend=None):
         if strategy not in STRATEGIES:
             raise ValueError(f"unknown strategy {strategy!r}")
         self.network = network
@@ -67,6 +75,16 @@ class BatchRunner:
         self.substrate = substrate
         self.cache = cache
         self.dtype = dtype
+        self.backend = backend
+        # Uniform accessor across runner classes: AsyncRunner repurposes
+        # ``backend`` for its concurrency pool type, so generic code
+        # should read the kernel choice from ``kernel_backend``.
+        self.kernel_backend = backend
+        self._kernel_executor = None
+        if backend is not None:
+            from ..backend import NetworkKernelExecutor
+
+            self._kernel_executor = NetworkKernelExecutor(backend)
         self._plan = None
 
     @property
@@ -78,11 +96,15 @@ class BatchRunner:
         is introspection over — not a copy of — what actually runs.
         """
         if self._plan is None:
-            self._plan = compile_network_plan(self.network, self.strategy)
+            kernel = self._kernel_executor
+            self._plan = compile_network_plan(
+                self.network, self.strategy,
+                backend=None if kernel is None else kernel.backend,
+            )
         return self._plan
 
-    def _stack(self, clouds):
-        batch = np.asarray(clouds, dtype=np.float64)
+    def _stack(self, clouds, dtype=np.float64):
+        batch = np.asarray(clouds, dtype=dtype)
         if batch.ndim == 2:
             batch = batch[None]
         n = self.network.n_points
@@ -114,11 +136,31 @@ class BatchRunner:
         )
 
     def run(self, clouds):
-        """Batched inference over ``clouds`` (list or (B, N, 3) array)."""
-        batch = self._stack(clouds)
+        """Batched inference over ``clouds`` (list or (B, N, 3) array).
+
+        With a kernel ``backend`` configured the stack goes through the
+        compiled kernel program; otherwise through the batched graph
+        interpreter (:meth:`~repro.networks.base.PointCloudNetwork.forward_batch`).
+        """
+        if self._kernel_executor is not None:
+            # Stack directly in the backend's dtype: the program would
+            # cast anyway, and float32 clouds must not round-trip
+            # through a float64 copy on the fast path.
+            batch = self._stack(clouds,
+                                dtype=self._kernel_executor.backend.dtype)
+        else:
+            batch = self._stack(clouds)
         start = time.perf_counter()
         with no_grad(), self._context():
-            outputs = self.network.forward_batch(batch, strategy=self.strategy)
+            if self._kernel_executor is not None:
+                outputs = self._kernel_executor.run_network(
+                    self.network.network_graph(self.strategy),
+                    self.network, batch,
+                )
+            else:
+                outputs = self.network.forward_batch(
+                    batch, strategy=self.strategy
+                )
         return self._result(outputs, len(batch), time.perf_counter() - start)
 
     def run_sequential(self, clouds):

@@ -224,17 +224,25 @@ def async_forward_task(args):
 _WORKER_STATE = {}
 
 
-def _init_forward_worker(network, strategy, substrate, dtype):
+def _init_forward_worker(network, strategy, substrate, dtype,
+                         kernel_backend=None):
     """Pool initializer: unpickle the network once per worker process.
 
     Runs in each worker when the persistent pool starts (and in-process
     when the pool degrades to a serial map), so per-task payloads are
-    just the cloud arrays.
+    just the cloud arrays.  ``kernel_backend`` additionally compiles
+    the worker's kernel program once, so every task runs autograd-free.
     """
     _WORKER_STATE["network"] = network
     _WORKER_STATE["strategy"] = strategy
     _WORKER_STATE["substrate"] = substrate
     _WORKER_STATE["dtype"] = dtype
+    executor = None
+    if kernel_backend is not None:
+        from ..backend import NetworkKernelExecutor
+
+        executor = NetworkKernelExecutor(kernel_backend)
+    _WORKER_STATE["executor"] = executor
 
 
 def network_forward_task(cloud):
@@ -242,7 +250,8 @@ def network_forward_task(cloud):
     state = _WORKER_STATE
     with no_grad(), search_context(substrate=state["substrate"],
                                    dtype=state["dtype"]):
-        return state["network"].forward(cloud, strategy=state["strategy"])
+        return state["network"].forward(cloud, strategy=state["strategy"],
+                                        executor=state.get("executor"))
 
 
 class AsyncRunner(BatchRunner):
@@ -283,18 +292,28 @@ class AsyncRunner(BatchRunner):
         the runner cache is not consulted there, since worker processes
         cannot share it.  ``"serial"`` runs the dependency-ordered
         executor without any pool (debugging / property tests).
+    kernel_backend:
+        Optional kernel backend (``"float64"`` / ``"float32"`` / an
+        :class:`~repro.backend.ArrayBackend`).  When set, every
+        in-flight cloud runs the compiled autograd-free kernel program
+        instead of the overlap graph interpreter — concurrency then
+        comes from pipelining whole-cloud programs (whose GEMM and
+        search kernels release the GIL) across the cloud pool.  The
+        process backend ships the backend name into its workers, which
+        compile once in their initializer.
     """
 
     def __init__(self, network, strategy="delayed", substrate="brute",
                  cache=None, dtype=None, max_workers=None, in_flight=None,
-                 backend="thread"):
+                 backend="thread", kernel_backend=None):
         super().__init__(network, strategy=strategy, substrate=substrate,
-                         cache=cache, dtype=dtype)
+                         cache=cache, dtype=dtype, backend=kernel_backend)
         if backend not in _BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; expected one of {_BACKENDS}"
             )
         self.backend = backend
+        self.kernel_backend = kernel_backend
         if max_workers is None:
             max_workers = os.cpu_count() or 1
         if int(max_workers) <= 0:
@@ -329,11 +348,19 @@ class AsyncRunner(BatchRunner):
     # -- backends -----------------------------------------------------------
 
     def _forward_one(self, cloud, pool):
-        """One cloud through the network overlap executor, in this thread."""
+        """One cloud through the network overlap executor, in this thread.
+
+        With a kernel backend configured the cloud runs the compiled
+        kernel program instead (thread-local scratch, so one executor
+        serves every in-flight cloud).
+        """
         with self._context():
+            if self._kernel_executor is not None:
+                executor = self._kernel_executor
+            else:
+                executor = OverlapNetworkExecutor(pool)
             return self.network.forward(
-                cloud, strategy=self.strategy,
-                executor=OverlapNetworkExecutor(pool),
+                cloud, strategy=self.strategy, executor=executor,
             )
 
     def _pools(self):
@@ -392,6 +419,6 @@ class AsyncRunner(BatchRunner):
                 max_workers=self.max_workers, backend="process",
                 persistent=True, initializer=_init_forward_worker,
                 initargs=(self.network, self.strategy, self.substrate,
-                          self.dtype),
+                          self.dtype, self.kernel_backend),
             )
         return self._process_runner.map(network_forward_task, list(batch))

@@ -45,6 +45,10 @@ class NetworkPlan:
     strategy: str
     entries: tuple
     graph: object = None
+    #: Resolved :class:`~repro.backend.ArrayBackend` when the plan was
+    #: compiled for the kernel runtime, else ``None`` (autograd
+    #: executors).
+    backend: object = None
 
     def __len__(self):
         return len(self.entries)
@@ -67,6 +71,11 @@ class NetworkPlan:
             f"plan {self.network} [{self.strategy}]: "
             f"{len(self.entries)} modules, {self.node_count} module nodes"
         ]
+        if self.backend is not None:
+            lines.append(
+                f"kernel backend: {self.backend.name} "
+                f"(search dtype {self.backend.search_dtype or 'context'})"
+            )
         if self.graph is not None:
             lines.append(
                 f"network graph: {self.graph.node_count} nodes, "
@@ -81,12 +90,16 @@ class NetworkPlan:
         return "\n".join(lines)
 
 
-def compile_network_plan(network, strategy="delayed"):
+def compile_network_plan(network, strategy="delayed", backend=None):
     """Compile ``network``: the whole-network graph plus module metadata.
 
     The network graph is memoized per (instance, strategy) and the
     module graphs per (spec, strategy), so repeated compilation is
-    free; the plan object itself is cheap metadata.
+    free; the plan object itself is cheap metadata.  ``backend``
+    optionally records the kernel backend (name, dtype or
+    :class:`~repro.backend.ArrayBackend`) the plan will execute under —
+    the engine's runners pass theirs through so placement and
+    introspection see the same configuration that runs.
     """
     modules = list(network.encoder) + list(getattr(network, "box_encoder", []))
     entries = tuple(
@@ -96,4 +109,8 @@ def compile_network_plan(network, strategy="delayed"):
     graph = None
     if hasattr(network, "network_graph"):
         graph = network.network_graph(strategy)
-    return NetworkPlan(network.name, strategy, entries, graph)
+    if backend is not None:
+        from ..backend import get_backend
+
+        backend = get_backend(backend)
+    return NetworkPlan(network.name, strategy, entries, graph, backend)

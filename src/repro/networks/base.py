@@ -88,6 +88,10 @@ class FCHead(Module):
     def forward(self, x):
         return self.net(x)
 
+    def export_layers(self):
+        """The flat layer list a kernel backend exports parameters from."""
+        return list(self.net.layers)
+
 
 class FeaturePropagation(Module):
     """PointNet++ feature propagation (decoder) module.
@@ -110,6 +114,10 @@ class FeaturePropagation(Module):
         self.name = name
         self.n_points = n_points
         self.mlp = SharedMLP(list(mlp_dims), rng=rng)
+
+    def export_layers(self):
+        """The flat layer list a kernel backend exports parameters from."""
+        return self.mlp.export_layers()
 
     def forward(self, fine_coords, fine_feats, coarse_coords, coarse_feats):
         """Propagate (n_coarse, C) features to (n_fine, ...) points."""

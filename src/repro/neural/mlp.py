@@ -66,6 +66,10 @@ class SharedMLP(Module):
         """The Linear layers in order (used for the limited variant)."""
         return [l for l in self.net if isinstance(l, Linear)]
 
+    def export_layers(self):
+        """The flat layer list a kernel backend exports parameters from."""
+        return list(self.net.layers)
+
     def mac_count(self, rows):
         """Multiply-accumulate operations to process ``rows`` input rows."""
         return rows * sum(a * b for a, b in zip(self.dims[:-1], self.dims[1:]))

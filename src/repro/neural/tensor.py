@@ -63,7 +63,16 @@ class Tensor:
     def __init__(self, data, requires_grad=False):
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=np.float64)
+        if not _GRAD_ENABLED and isinstance(data, np.ndarray) \
+                and data.dtype.kind == "f":
+            # Inference fast path: respect the array's floating dtype.
+            # Training always promotes to float64 (gradient accuracy),
+            # but under no_grad() a float32 array — e.g. one produced by
+            # the float32 kernel backend — must survive the neural layer
+            # without a silent upcast copy.
+            self.data = data
+        else:
+            self.data = np.asarray(data, dtype=np.float64)
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self.grad = None
         self._backward = None

@@ -37,11 +37,14 @@ class TestNeighborSearchProperties:
         # Sorted by distance.
         assert (np.diff(dist, axis=1) >= -1e-9).all()
         # The k-th distance is a lower bound on all excluded points.
+        # Tolerance matches the brute-force kernel's cancellation error
+        # (the expanded |q|^2+|p|^2-2qp formula loses ~1e-6 absolute at
+        # coordinate magnitude 100 — see the kd-tree comparison below).
         for row in range(2):
             others = np.setdiff1d(np.arange(len(pts)), idx[row])
             if len(others):
                 d_others = np.sqrt(((pts[others] - pts[row]) ** 2).sum(1))
-                assert d_others.min() >= dist[row, -1] - 1e-9
+                assert d_others.min() >= dist[row, -1] - 2e-5
 
     @settings(max_examples=20, deadline=None)
     @given(cloud_strategy(min_n=8, max_n=64))
