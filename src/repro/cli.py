@@ -14,12 +14,18 @@ train [--network N] [--strategy S] [--epochs E]
     Train a scaled-down classifier on the synthetic dataset.
 bench [--batch B] [--n-points N] [--output PATH]
     Benchmark the batched inference engine and write BENCH_engine.json.
+bench --serve [--rates R R ...] [--output PATH]
+    Open-loop serving latency sweep; writes BENCH_serve.json.
+serve [--network N ...] [--max-batch B] [--max-wait-ms D] [--port P]
+    Long-lived continuous-batching server (stdin or TCP JSON lines).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import threading
 
 import numpy as np
 
@@ -119,9 +125,53 @@ def _cmd_train(args):
     return 0
 
 
+def _serve_backend(name):
+    return None if name == "eager" else name
+
+
+def _cmd_bench_serve(args):
+    from .engine import write_json
+    from .serve import serve_bench_results
+
+    results = serve_bench_results(
+        quick=args.quick,
+        network=args.network,
+        strategy=args.strategy,
+        backend=_serve_backend(args.serve_backend),
+        rates=tuple(args.rates) if args.rates else (30.0, 90.0),
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        workers=args.workers,
+        deadline_ms=args.deadline_ms,
+    )
+    row = results["serve"]
+    print(f"serve bench ({row['workload']['backend']} backend, "
+          f"{row['workload']['requests_per_rate']} requests/rate, "
+          f"deadline {row['deadline_ms']:.0f} ms)")
+    for cell in row["grid"]:
+        print(f"  rate {cell['rate_rps']:6.1f} rps  "
+              f"{cell['policy']:12s} p50 {cell['p50_ms']:7.2f} ms  "
+              f"p99 {cell['p99_ms']:7.2f} ms  "
+              f"{cell['throughput_rps']:6.1f} rps  "
+              f"mean batch {cell['mean_batch']:.2f}  "
+              f"rejected {cell['rejected']}")
+    print(f"  responses {'ok' if row['responses_ok'] else 'WRONG'} "
+          f"(bit-exact {'yes' if row['responses_exact'] else 'NO'}, "
+          f"top-1 {'yes' if row['responses_top1'] else 'NO'})   "
+          f"ids {'ok' if row['ids_ok'] else 'BROKEN'}   "
+          f"worst batched p99 {row['p99_batched_worst_ms']:.2f} ms")
+    output = args.output or "BENCH_serve.json"
+    write_json(results, output)
+    print(f"wrote {output}")
+    return 0
+
+
 def _cmd_bench(args):
     from .engine import run_benchmarks, write_json
 
+    if args.serve:
+        return _cmd_bench_serve(args)
+    args.output = args.output or "BENCH_engine.json"
     results = run_benchmarks(
         batch=args.batch,
         n_points=args.n_points,
@@ -186,6 +236,144 @@ def _cmd_bench(args):
     return 0
 
 
+def _serve_handle_line(server, line, emit):
+    """One JSON request line -> submit; ``emit`` gets the response dict.
+
+    Malformed lines and rejected requests (unroutable shape, queue
+    backpressure, shutdown) are answered immediately with an ``error``
+    response carrying the request id when one was parsed.
+    """
+    from .serve import ServeError
+
+    request_id = None
+    try:
+        payload = json.loads(line)
+        request_id = payload.get("id")
+        future = server.submit(
+            payload["cloud"],
+            request_id=request_id,
+            tenant=payload.get("tenant", "default"),
+        )
+    except (ServeError, KeyError, TypeError, ValueError) as exc:
+        emit({"id": request_id, "error": str(exc)})
+        return
+
+    def deliver(done):
+        exc = done.exception()
+        if exc is not None:
+            emit({"id": request_id, "error": str(exc)})
+            return
+        resp = done.result()
+        output = resp.output
+        if isinstance(output, dict):
+            output = {key: value.tolist() for key, value in output.items()}
+        else:
+            output = output.tolist()
+        emit({
+            "id": resp.request_id,
+            "tenant": resp.tenant,
+            "output": output,
+            "batch_size": resp.batch_size,
+            "queued_ms": round(resp.queued_ms, 3),
+            "latency_ms": round(resp.latency_ms, 3),
+        })
+
+    future.add_done_callback(deliver)
+
+
+def _build_server(args):
+    from .engine import AsyncRunner, BatchRunner
+    from .serve import BatchPolicy, Server
+
+    backend = _serve_backend(args.serve_backend)
+    runners = []
+    for name in args.network or ["PointNet++ (c)"]:
+        from .networks import build_network
+
+        net = build_network(name, scale=args.scale)
+        if args.runner == "async":
+            runners.append(AsyncRunner(net, strategy=args.strategy,
+                                       kernel_backend=backend))
+        else:
+            runners.append(BatchRunner(net, strategy=args.strategy,
+                                       backend=backend))
+    policy = BatchPolicy(max_batch=args.max_batch,
+                         max_wait_ms=args.max_wait_ms,
+                         max_queue=args.max_queue)
+    return Server(runners, policy=policy, workers=args.workers)
+
+
+def _cmd_serve(args):
+    """Long-lived request loop: JSON lines on stdin or a TCP socket."""
+    import signal
+
+    server = _build_server(args)
+    sizes = ", ".join(str(n) for n in server.served_sizes)
+    write_lock = threading.Lock()
+
+    def _sigterm(_signum, _frame):
+        # Orchestrators stop services with SIGTERM; route it through the
+        # KeyboardInterrupt path so shutdown still drains in-flight work.
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _sigterm)
+    except ValueError:
+        pass  # not the main thread (e.g. driven from a test harness)
+
+    def emit(payload, stream=sys.stdout):
+        with write_lock:
+            stream.write(json.dumps(payload) + "\n")
+            stream.flush()
+
+    try:
+        if args.port is not None:
+            import socketserver
+
+            class Handler(socketserver.StreamRequestHandler):
+                def handle(self):
+                    def emit_socket(payload):
+                        data = (json.dumps(payload) + "\n").encode()
+                        with write_lock:
+                            self.wfile.write(data)
+
+                    for raw in self.rfile:
+                        line = raw.decode().strip()
+                        if line:
+                            _serve_handle_line(server, line, emit_socket)
+
+            with socketserver.ThreadingTCPServer(
+                ("127.0.0.1", args.port), Handler
+            ) as tcp:
+                tcp.daemon_threads = True
+                print(f"serving n_points in [{sizes}] on 127.0.0.1:"
+                      f"{tcp.server_address[1]} (ctrl-c to stop)",
+                      file=sys.stderr)
+                try:
+                    tcp.serve_forever()
+                except KeyboardInterrupt:
+                    pass
+        else:
+            print(f"serving n_points in [{sizes}] on stdin "
+                  "(one JSON request per line; EOF drains and exits)",
+                  file=sys.stderr)
+            for raw in sys.stdin:
+                line = raw.strip()
+                if line:
+                    _serve_handle_line(server, line, emit)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close(drain=True)
+        stats = server.stats()
+        print(f"served {stats['completed']} request(s) in "
+              f"{stats['sub_batches']} sub-batch(es) "
+              f"(mean batch {stats['mean_batch']:.2f}, "
+              f"rejected {stats['rejected']}, failed {stats['failed']})",
+              file=sys.stderr)
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro", description="Mesorasi reproduction toolkit"
@@ -232,9 +420,60 @@ def build_parser():
                          help="kernel-runtime fast path the backend row "
                               "measures against eager (the float64 "
                               "reference is always included)")
-    p_bench.add_argument("--output", default="BENCH_engine.json")
+    p_bench.add_argument("--output", default=None,
+                         help="result path (default BENCH_engine.json, or "
+                              "BENCH_serve.json with --serve)")
+    p_bench.add_argument("--serve", action="store_true",
+                         help="run the open-loop serving latency sweep "
+                              "instead of the engine suite")
+    p_bench.add_argument("--rates", type=float, nargs="+", default=None,
+                         help="open-loop Poisson arrival rates in "
+                              "requests/s (--serve; default 30 90)")
+    _add_serve_options(p_bench, bench=True)
+
+    p_serve = sub.add_parser(
+        "serve", help="long-lived continuous-batching inference server"
+    )
+    p_serve.add_argument("--network", action="append", default=None,
+                         help="network to host (repeatable; requests route "
+                              "by cloud size, so hosted networks must "
+                              "differ in n_points)")
+    p_serve.add_argument("--scale", type=float, default=0.125)
+    p_serve.add_argument("--strategy", default="delayed",
+                         choices=("original", "delayed", "limited"))
+    p_serve.add_argument("--runner", default="batch",
+                         choices=("batch", "async"),
+                         help="drain sub-batches through BatchRunner or "
+                              "the overlapped AsyncRunner")
+    p_serve.add_argument("--max-queue", type=int, default=64,
+                         help="admission bound; pushes beyond it are "
+                              "rejected with a backpressure error")
+    p_serve.add_argument("--port", type=int, default=None,
+                         help="serve JSON lines over TCP on 127.0.0.1:PORT "
+                              "instead of stdin")
+    _add_serve_options(p_serve, bench=False)
 
     return parser
+
+
+def _add_serve_options(parser, bench):
+    """Batching-policy knobs shared by ``serve`` and ``bench --serve``."""
+    parser.add_argument("--max-batch", type=int, default=8,
+                        help="most requests coalesced into one dispatch")
+    parser.add_argument("--max-wait-ms", type=float, default=5.0,
+                        help="deadline on the oldest request's queueing "
+                             "time before a partial batch flushes")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="dispatch concurrency (1 = fully serial)")
+    parser.add_argument("--serve-backend", default="eager",
+                        choices=("eager", "float32", "float64"),
+                        help="execution path requests drain through: the "
+                             "batched graph interpreter or a compiled "
+                             "kernel backend")
+    if bench:
+        parser.add_argument("--deadline-ms", type=float, default=750.0,
+                            help="p99 budget the serve row records for "
+                                 "the CI tail-latency gate")
 
 
 _COMMANDS = {
@@ -244,6 +483,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "train": _cmd_train,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
 }
 
 

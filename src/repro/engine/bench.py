@@ -25,7 +25,23 @@ from .parallel import ParallelRunner, kdtree_nit_task
 from .runner import BatchRunner
 from .scheduler import AsyncRunner
 
-__all__ = ["run_benchmarks", "write_json"]
+__all__ = ["bench_meta", "run_benchmarks", "write_json"]
+
+
+def bench_meta(quick=False):
+    """The environment block every bench JSON leads with.
+
+    Shared by the engine suite and the serving harness so
+    ``BENCH_engine.json`` and ``BENCH_serve.json`` stay comparable
+    across runners.
+    """
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "quick": quick,
+    }
 
 
 def _best_ms(fn, repeats):
@@ -653,13 +669,7 @@ def run_benchmarks(batch=16, n_points=1024, k=16, network="PointNet++ (c)",
         scale = min(scale, 0.125)
         repeats = 1
     results = {
-        "meta": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "platform": platform.platform(),
-            "cpu_count": os.cpu_count(),
-            "quick": quick,
-        },
+        "meta": bench_meta(quick),
         "knn": bench_knn(batch=batch, n_points=n_points, k=k, repeats=repeats),
         "ball": bench_ball(batch=batch, n_points=n_points, repeats=repeats),
         "forward": bench_forward(

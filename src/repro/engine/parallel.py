@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import os
 import warnings
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 
 __all__ = ["ParallelRunner", "kdtree_nit_task", "soc_latency_task"]
 
@@ -114,9 +114,52 @@ class ParallelRunner:
             )
             return self._serial_map(fn, items)
 
+    def _inline_future(self, fn, args):
+        future = Future()
+        future.set_running_or_notify_cancel()
+        try:
+            if self.initializer is not None:
+                self.initializer(*self.initargs)
+            future.set_result(fn(*args))
+        except BaseException as exc:  # noqa: BLE001 - future carries it
+            future.set_exception(exc)
+        return future
+
+    def submit(self, fn, *args):
+        """Submit one task to a persistent pool, returning its future.
+
+        The streaming counterpart of :meth:`map` — the serving
+        frontend's dispatcher drains batch groups through this so
+        sub-batches execute concurrently while new arrivals keep
+        queueing.  Requires ``persistent=True`` (a per-call pool would
+        be torn down before the future resolves).  The serial backend,
+        a single worker, and a pool that fails to start all degrade to
+        running the task inline and returning an already-completed
+        future — same results, same API.
+        """
+        if self.backend == "serial" or self.max_workers == 1:
+            return self._inline_future(fn, args)
+        if not self.persistent:
+            raise ValueError("submit() requires a persistent runner")
+        try:
+            if self._pool is None:
+                self._pool = self._make_pool()
+            return self._pool.submit(fn, *args)
+        except (OSError, PermissionError, RuntimeError) as exc:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+                self._pool = None
+            warnings.warn(
+                f"{self.backend} pool unavailable ({exc}); running inline",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return self._inline_future(fn, args)
+
     def close(self):
         """Shut down a persistent pool (idempotent; the next :meth:`map`
-        recreates it)."""
+        recreates it).  Blocks until already-submitted work — including
+        :meth:`submit` futures — has drained."""
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None

@@ -24,6 +24,11 @@ from ..neural import Tensor, no_grad
 __all__ = ["BatchResult", "BatchRunner"]
 
 
+def _leaf_array(value):
+    """Tensor or ndarray leaf -> plain ndarray."""
+    return value.data if isinstance(value, Tensor) else np.asarray(value)
+
+
 @dataclass
 class BatchResult:
     """Outputs plus timing for one engine run."""
@@ -37,6 +42,44 @@ class BatchResult:
     def clouds_per_second(self):
         """Throughput of the run (infinite for an unmeasurably short one)."""
         return self.batch_size / self.seconds if self.seconds > 0 else float("inf")
+
+    def per_cloud(self):
+        """Split the stacked outputs back into one output per cloud.
+
+        The inverse of
+        :meth:`~repro.networks.base.PointCloudNetwork.stack_outputs`, and
+        the demultiplexing hook the serving frontend uses to hand each
+        request its own response: (B, ...) arrays split along the batch
+        axis, detection dicts split value-wise, and per-cloud lists
+        (how :class:`AsyncRunner` stacks detection outputs) pass
+        through.  Always returns plain ndarray leaves.
+        """
+        out = self.outputs
+        if isinstance(out, (Tensor, np.ndarray)):
+            data = _leaf_array(out)
+            if len(data) != self.batch_size:
+                raise ValueError(
+                    f"cannot split {data.shape} outputs into "
+                    f"{self.batch_size} per-cloud responses"
+                )
+            return [data[b] for b in range(self.batch_size)]
+        if isinstance(out, dict):
+            return [
+                {key: _leaf_array(value)[b] for key, value in out.items()}
+                for b in range(self.batch_size)
+            ]
+        if isinstance(out, (list, tuple)):
+            if len(out) != self.batch_size:
+                raise ValueError(
+                    f"cannot split {len(out)} outputs into "
+                    f"{self.batch_size} per-cloud responses"
+                )
+            return [
+                {key: _leaf_array(value) for key, value in item.items()}
+                if isinstance(item, dict) else _leaf_array(item)
+                for item in out
+            ]
+        raise TypeError(f"unsupported output structure {type(out).__name__}")
 
 
 class BatchRunner:
@@ -162,6 +205,22 @@ class BatchRunner:
                     batch, strategy=self.strategy
                 )
         return self._result(outputs, len(batch), time.perf_counter() - start)
+
+    def close(self):
+        """Release any pooled resources (idempotent).
+
+        :class:`BatchRunner` itself holds none — this is the uniform
+        drain hook the serving frontend calls on shutdown, so a server
+        can close whichever runner flavor it was handed
+        (:class:`~repro.engine.scheduler.AsyncRunner` overrides it to
+        shut its worker pools down).
+        """
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
 
     def run_sequential(self, clouds):
         """Per-cloud loop under the same context — the batching baseline."""

@@ -74,7 +74,10 @@ def _drive_frontier(graph, execute, pool, options, on_complete=None):
     """
 
     def execute_pooled(node, env):
-        with search_context(**options):
+        # Grad mode and search options are both thread-local: re-enter
+        # them on the pool worker so the node runs under the scheduling
+        # thread's inference scope.
+        with no_grad(), search_context(**options):
             return execute(node, env)
 
     env = {}
@@ -352,9 +355,10 @@ class AsyncRunner(BatchRunner):
 
         With a kernel backend configured the cloud runs the compiled
         kernel program instead (thread-local scratch, so one executor
-        serves every in-flight cloud).
+        serves every in-flight cloud).  Enters ``no_grad`` itself: grad
+        mode is thread-local and this runs on cloud-pool worker threads.
         """
-        with self._context():
+        with no_grad(), self._context():
             if self._kernel_executor is not None:
                 executor = self._kernel_executor
             else:

@@ -13,30 +13,41 @@ concatenation, and the usual shape plumbing.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 __all__ = ["Tensor", "concat", "stack", "no_grad", "is_grad_enabled"]
 
-_GRAD_ENABLED = True
+# Grad mode is per-thread: the serving/scheduler layers enter no_grad()
+# concurrently from dispatcher and worker threads, and a process-global
+# flag with save/restore semantics races under interleaved enter/exit
+# (thread A's restore can clobber thread B's state — or leak inference
+# mode into the main thread permanently).  A thread starts with grads
+# enabled; every pooled inference task enters no_grad() itself.
+_GRAD_STATE = threading.local()
 
 
 class no_grad:
-    """Context manager disabling graph construction (inference mode)."""
+    """Context manager disabling graph construction (inference mode).
+
+    Scoped to the current thread — entering it on a dispatcher thread
+    does not flip grad mode for anyone else, so worker tasks must enter
+    their own (the engine's pooled tasks all do).
+    """
 
     def __enter__(self):
-        global _GRAD_ENABLED
-        self._prev = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._prev = is_grad_enabled()
+        _GRAD_STATE.enabled = False
         return self
 
     def __exit__(self, *exc):
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._prev
+        _GRAD_STATE.enabled = self._prev
         return False
 
 
 def is_grad_enabled():
-    return _GRAD_ENABLED
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad, shape):
@@ -63,7 +74,7 @@ class Tensor:
     def __init__(self, data, requires_grad=False):
         if isinstance(data, Tensor):
             data = data.data
-        if not _GRAD_ENABLED and isinstance(data, np.ndarray) \
+        if not is_grad_enabled() and isinstance(data, np.ndarray) \
                 and data.dtype.kind == "f":
             # Inference fast path: respect the array's floating dtype.
             # Training always promotes to float64 (gradient accuracy),
@@ -73,7 +84,7 @@ class Tensor:
             self.data = data
         else:
             self.data = np.asarray(data, dtype=np.float64)
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self.grad = None
         self._backward = None
         self._parents = ()
@@ -87,7 +98,7 @@ class Tensor:
     @classmethod
     def _from_op(cls, data, parents, backward):
         out = cls(data)
-        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+        if is_grad_enabled() and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = tuple(parents)
             out._backward = backward
@@ -289,7 +300,7 @@ class Tensor:
         matching the behaviour of max-pooling in the original networks.
         """
         out_data = self.data.max(axis=axis, keepdims=keepdims)
-        if not (_GRAD_ENABLED and self.requires_grad):
+        if not (is_grad_enabled() and self.requires_grad):
             # Inference fast path: the argmax bookkeeping below exists
             # only for the backward pass and costs as much as the max.
             return Tensor._from_op(out_data, (self,), None)

@@ -1,0 +1,35 @@
+"""Continuous-batching serving frontend.
+
+The layer that turns *traffic* into the ``(B, N, 3)`` stacks every
+other entry point assumes: :class:`Server` admits heterogeneous
+point-cloud requests onto a bounded per-tenant fair queue
+(:class:`FairQueue`), coalesces arrivals under a
+:class:`BatchPolicy` (``max_batch`` / ``max_wait_ms`` deadline), splits
+mixed-``N`` batches into per-shape sub-batches, and drains each through
+an engine runner — the batched graph interpreter or a compiled kernel
+backend alike.  ``repro serve`` wraps it in a stdin/socket JSON request
+loop; :func:`bench_serve` replays open-loop Poisson arrivals against it
+and reports p50/p99 latency and throughput per (rate, policy), with
+responses gated bit-exact against direct
+:class:`~repro.engine.runner.BatchRunner` calls.
+"""
+
+from .batcher import BatchPolicy, gather, split_by_shape
+from .harness import bench_serve, serve_bench_results
+from .queue import FairQueue, QueueFull, Request, ServeError, ServerClosed
+from .server import Server, ServeResponse
+
+__all__ = [
+    "BatchPolicy",
+    "FairQueue",
+    "QueueFull",
+    "Request",
+    "ServeError",
+    "ServeResponse",
+    "Server",
+    "ServerClosed",
+    "bench_serve",
+    "gather",
+    "serve_bench_results",
+    "split_by_shape",
+]

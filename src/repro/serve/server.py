@@ -1,0 +1,284 @@
+"""The serving loop: admission -> dynamic batches -> runner drains.
+
+:class:`Server` is the long-lived frontend the ROADMAP's
+millions-of-users story needs: every other entry point in the repo
+assumes the caller already holds a ``(B, N, 3)`` stack, while a server
+receives *requests* — one cloud each, at arbitrary times, from many
+tenants.  The request lifecycle:
+
+1. **Admit** — :meth:`Server.submit` validates the cloud, routes its
+   shape to a hosted runner, stamps arrival, and pushes it onto the
+   bounded per-tenant :class:`~repro.serve.queue.FairQueue` (raising
+   :class:`~repro.serve.queue.QueueFull` under overload — backpressure,
+   never unbounded buffering).
+2. **Coalesce** — the dispatcher thread blocks in
+   :func:`~repro.serve.batcher.gather` until the batch is full or the
+   oldest request hits the ``max_wait_ms`` deadline, then splits the
+   gathered requests into per-shape sub-batches.
+3. **Drain** — each sub-batch stacks into one ``(B, N, 3)`` call
+   through its runner (:class:`~repro.engine.runner.BatchRunner` or
+   :class:`~repro.engine.scheduler.AsyncRunner`, kernel backends
+   included), executing inline with one dispatch worker or across a
+   persistent :class:`~repro.engine.parallel.ParallelRunner` thread
+   pool with more.
+4. **Respond** — the batch output splits back per request
+   (:meth:`~repro.engine.runner.BatchResult.per_cloud`) and each
+   request's future resolves to a :class:`ServeResponse`.
+
+Because the runners execute the exact same programs as direct
+``BatchRunner.run`` calls, responses are bit-exact against offline
+inference (float64; top-1-identical under the float32 kernel backend)
+no matter how arrivals happened to coalesce — the bench harness and CI
+gate exactly that.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..engine.parallel import ParallelRunner
+from .batcher import BatchPolicy, gather, split_by_shape
+from .queue import FairQueue, Request, ServeError, ServerClosed
+
+__all__ = ["ServeResponse", "Server"]
+
+
+@dataclass
+class ServeResponse:
+    """One request's result plus its latency breakdown.
+
+    ``queued_ms`` is admission -> dispatch (what the batching policy
+    controls); ``service_ms`` is the sub-batch's runner call;
+    ``latency_ms`` is admission -> response (what the client feels).
+    ``batch_ids`` names every request that shared the kernel call, in
+    stack order — batched float64 GEMMs are bit-reproducible for a
+    given stack but not across different stack heights (BLAS blocking
+    changes with the matrix shape), so exact-correctness checks replay
+    the *same composition* through a direct runner call rather than
+    comparing against a differently-batched run.
+    """
+
+    request_id: str
+    tenant: str
+    output: object
+    batch_ids: tuple
+    queued_ms: float
+    service_ms: float
+    latency_ms: float
+
+    @property
+    def batch_size(self):
+        """How many requests shared this response's kernel call."""
+        return len(self.batch_ids)
+
+
+class Server:
+    """Continuous-batching inference server over engine runners.
+
+    Parameters
+    ----------
+    runners:
+        One runner or a list of them (anything with the
+        :class:`~repro.engine.runner.BatchRunner` ``run``/``close``
+        contract).  Each runner serves the cloud size of its network;
+        hosting several networks with different ``n_points`` gives the
+        server its mixed-``N`` routing table.  Two runners with the
+        same ``n_points`` are ambiguous and rejected.
+    policy:
+        A :class:`~repro.serve.batcher.BatchPolicy` (default: 8-deep
+        batches, 5 ms deadline, 64-deep queue).
+    workers:
+        Dispatch concurrency.  ``1`` (default) runs every sub-batch
+        inline on the dispatcher thread — the fully serial degrade,
+        no pools anywhere.  More workers drain sub-batches through a
+        persistent thread :class:`~repro.engine.parallel.ParallelRunner`
+        so a slow batch does not block the next shape group.
+
+    The server starts its dispatcher immediately and serves until
+    :meth:`close`.  Use it as a context manager for the
+    drain-then-shutdown path.
+    """
+
+    def __init__(self, runners, policy=None, workers=1):
+        if not isinstance(runners, (list, tuple)):
+            runners = [runners]
+        if not runners:
+            raise ValueError("at least one runner is required")
+        self.policy = policy or BatchPolicy()
+        self._routes = {}
+        for runner in runners:
+            n = runner.network.n_points
+            if n in self._routes:
+                raise ValueError(
+                    f"two runners serve n_points={n}; routing is by cloud "
+                    "size, so hosted networks must differ in n_points"
+                )
+            self._routes[n] = runner
+        if int(workers) < 1:
+            raise ValueError("workers must be positive")
+        self.workers = int(workers)
+        self._queue = FairQueue(max_queue=self.policy.max_queue)
+        self._dispatch = None
+        if self.workers > 1:
+            self._dispatch = ParallelRunner(
+                max_workers=self.workers, backend="thread", persistent=True
+            )
+        self._ids = itertools.count()
+        self._lock = threading.Lock()
+        self._stats = {
+            "submitted": 0, "completed": 0, "failed": 0, "rejected": 0,
+            "batches": 0, "sub_batches": 0, "batched_requests": 0,
+            "max_depth": 0,
+        }
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatch",
+            daemon=True,
+        )
+        self._thread.start()
+
+    # -- admission -----------------------------------------------------------
+
+    @property
+    def served_sizes(self):
+        """Cloud sizes this server routes, ascending."""
+        return sorted(self._routes)
+
+    def submit(self, cloud, request_id=None, tenant="default"):
+        """Admit one request; returns a future of :class:`ServeResponse`.
+
+        Never blocks: an unroutable cloud raises immediately, a full
+        queue raises :class:`~repro.serve.queue.QueueFull`, a closing
+        server raises :class:`~repro.serve.queue.ServerClosed`.
+        """
+        cloud = np.asarray(cloud, dtype=np.float64)
+        if cloud.ndim != 2 or cloud.shape[1] != 3:
+            raise ValueError(f"expected an (N, 3) cloud, got {cloud.shape}")
+        if cloud.shape[0] not in self._routes:
+            with self._lock:
+                self._stats["rejected"] += 1
+            raise ServeError(
+                f"no hosted network serves n_points={cloud.shape[0]} "
+                f"(served sizes: {self.served_sizes})"
+            )
+        request = Request(
+            id=str(request_id) if request_id is not None
+            else f"r{next(self._ids)}",
+            cloud=cloud,
+            tenant=str(tenant),
+        )
+        try:
+            self._queue.push(request)
+        except ServeError:
+            with self._lock:
+                self._stats["rejected"] += 1
+            raise
+        with self._lock:
+            self._stats["submitted"] += 1
+            self._stats["max_depth"] = max(
+                self._stats["max_depth"], len(self._queue)
+            )
+        return request.future
+
+    def request(self, cloud, request_id=None, tenant="default", timeout=None):
+        """Synchronous convenience: submit and wait for the response."""
+        return self.submit(cloud, request_id, tenant).result(timeout)
+
+    def stats(self):
+        """Snapshot of serving counters (plus live queue depth)."""
+        with self._lock:
+            snapshot = dict(self._stats)
+        snapshot["queue_depth"] = len(self._queue)
+        snapshot["mean_batch"] = (
+            snapshot["batched_requests"] / snapshot["sub_batches"]
+            if snapshot["sub_batches"] else 0.0
+        )
+        return snapshot
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _dispatch_loop(self):
+        while True:
+            batch = gather(self._queue, self.policy)
+            if not batch:
+                return  # closed and drained
+            with self._lock:
+                self._stats["batches"] += 1
+            for group in split_by_shape(batch).values():
+                if self._dispatch is None:
+                    self._run_group(group)
+                else:
+                    self._dispatch.submit(self._run_group, group)
+
+    def _run_group(self, group):
+        """One same-shape sub-batch through its runner, fan results out."""
+        dispatch_start = time.perf_counter()
+        try:
+            runner = self._routes[group[0].n_points]
+            result = runner.run(np.stack([req.cloud for req in group]))
+            outputs = result.per_cloud()
+        except BaseException as exc:  # noqa: BLE001 - delivered per request
+            with self._lock:
+                self._stats["failed"] += len(group)
+            for req in group:
+                if not req.future.set_running_or_notify_cancel():
+                    continue
+                req.future.set_exception(exc)
+            return
+        done = time.perf_counter()
+        with self._lock:
+            self._stats["sub_batches"] += 1
+            self._stats["batched_requests"] += len(group)
+            self._stats["completed"] += len(group)
+        batch_ids = tuple(req.id for req in group)
+        for req, output in zip(group, outputs):
+            if not req.future.set_running_or_notify_cancel():
+                continue
+            req.future.set_result(ServeResponse(
+                request_id=req.id,
+                tenant=req.tenant,
+                output=output,
+                batch_ids=batch_ids,
+                queued_ms=(dispatch_start - req.arrival) * 1e3,
+                service_ms=(done - dispatch_start) * 1e3,
+                latency_ms=(done - req.arrival) * 1e3,
+            ))
+
+    # -- shutdown ------------------------------------------------------------
+
+    def close(self, drain=True):
+        """Stop admitting and shut down (idempotent).
+
+        ``drain=True`` (default) serves everything already admitted —
+        in-flight *and* still-queued requests all resolve — before the
+        pools release.  ``drain=False`` fails queued requests with
+        :class:`~repro.serve.queue.ServerClosed` (in-flight sub-batches
+        still complete; the runner call cannot be interrupted).
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._queue.close()
+        if not drain:
+            for req in self._queue.drain_rejected():
+                if req.future.set_running_or_notify_cancel():
+                    req.future.set_exception(
+                        ServerClosed("server closed before dispatch")
+                    )
+        self._thread.join()
+        if self._dispatch is not None:
+            self._dispatch.close()  # blocks until submitted groups drain
+        for runner in self._routes.values():
+            runner.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()

@@ -32,8 +32,11 @@ def python_blocks(path):
 
 def test_docs_exist_and_have_snippets():
     names = {path.name for path in DOC_FILES}
-    assert {"architecture.md", "api.md", "README.md"} <= names
+    assert {"architecture.md", "api.md", "serving.md", "README.md"} <= names
     assert python_blocks(ROOT / "docs" / "api.md"), "api.md lost its examples"
+    assert python_blocks(ROOT / "docs" / "serving.md"), (
+        "serving.md lost its examples"
+    )
 
 
 @pytest.mark.parametrize(

@@ -238,3 +238,33 @@ class TestAutogradMachinery:
         b = Tensor([2.0])
         (a * b).sum().backward()
         assert b.grad is None
+
+    def test_no_grad_is_thread_local(self):
+        # Grad mode must not leak across threads: the serving dispatcher
+        # and scheduler worker threads enter no_grad() concurrently, and
+        # a process-global flag with save/restore semantics can leave
+        # inference mode stuck on in the main thread (interleaved
+        # enter/exit restoring a stale snapshot).
+        from threading import Barrier, Thread
+
+        from repro.neural.tensor import is_grad_enabled
+
+        barrier = Barrier(2)
+        seen = []
+
+        def worker():
+            with no_grad():
+                barrier.wait(timeout=30.0)   # inside worker no_grad
+                barrier.wait(timeout=30.0)   # main thread checked
+            seen.append(is_grad_enabled())
+
+        thread = Thread(target=worker)
+        thread.start()
+        barrier.wait(timeout=30.0)
+        assert is_grad_enabled()             # unaffected by the worker
+        t = Tensor([1.0], requires_grad=True)
+        assert t.requires_grad
+        barrier.wait(timeout=30.0)
+        thread.join(30.0)
+        assert seen == [True]                # worker restored its own state
+        assert is_grad_enabled()
