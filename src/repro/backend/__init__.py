@@ -18,18 +18,43 @@ and ``float32`` (the BLAS fast path).  The engine selects them through
 ``repro bench`` tracks both in its ``backend`` row.
 """
 
+from .aot import (
+    ProgramCache,
+    SharedTable,
+    attach_table,
+    network_fingerprint,
+    network_skeleton,
+    share_table,
+)
 from .array import ArrayBackend, NumpyBackend, get_backend
-from .params import export_segment, export_stack, segment_layers
+from .memplan import ArenaPlan, GraphLiveness, plan_arena, validate_plan
+from .params import (
+    ParameterTable,
+    export_segment,
+    export_stack,
+    segment_layers,
+)
 from .runtime import KernelProgram, NetworkKernelExecutor, compile_kernel_program
 
 __all__ = [
+    "ArenaPlan",
     "ArrayBackend",
+    "GraphLiveness",
     "KernelProgram",
     "NetworkKernelExecutor",
     "NumpyBackend",
+    "ParameterTable",
+    "ProgramCache",
+    "SharedTable",
+    "attach_table",
     "compile_kernel_program",
     "export_segment",
     "export_stack",
     "get_backend",
+    "network_fingerprint",
+    "network_skeleton",
+    "plan_arena",
     "segment_layers",
+    "share_table",
+    "validate_plan",
 ]

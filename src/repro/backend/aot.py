@@ -1,0 +1,456 @@
+"""AOT program cache and zero-copy parameter transport.
+
+Compiling a kernel program is cheap; *exporting the weights* is not —
+every :class:`~repro.engine.parallel.ParallelRunner` pool worker used
+to unpickle the whole network (11 MB for a mid-size PointNet++) and
+re-export its parameter table at initializer time.  This module makes
+compiled programs durable and their parameters shareable:
+
+* :class:`ProgramCache` persists a compiled
+  :class:`~repro.backend.runtime.KernelProgram` — kernel list, arena
+  plans, packed parameter table — to a **content-addressed** on-disk
+  format (``<digest>.json`` manifest + ``<digest>.bin`` blob, plus an
+  ``index.json`` mapping (network, strategy, backend, arity, weight
+  fingerprint) to digests).  Loading maps the blob read-only with
+  :func:`numpy.memmap`: K processes loading one digest share the bytes
+  through the page cache, zero copies.
+* :func:`share_table` / :func:`attach_table` move a packed table
+  through ``multiprocessing.shared_memory`` when there is no disk
+  cache: the parent packs once, workers attach by name and rebuild the
+  table as views — cold pool spin-up becomes a map instead of a
+  pickle-and-re-export.
+* :func:`network_skeleton` strips the parameter arrays out of a
+  deep-copied network so the *structure* still pickles tiny (the graph
+  builder only needs specs and layer shapes); a skeleton refuses to
+  re-export weights, which turns accidental fallbacks into loud
+  errors.
+* :func:`network_fingerprint` digests the live weights, so a cache hit
+  is only a hit when the stored program was compiled from bit-equal
+  parameters.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+import os
+import tempfile
+
+import numpy as np
+
+from .array import get_backend
+from .memplan import ArenaBuffer, ArenaPlan
+from .params import ParameterTable
+from .runtime import KernelProgram
+
+__all__ = [
+    "ProgramCache",
+    "SharedTable",
+    "attach_table",
+    "network_fingerprint",
+    "network_skeleton",
+    "share_table",
+]
+
+
+def network_fingerprint(network):
+    """A content digest of the network's inference parameters.
+
+    Hashes every :class:`~repro.neural.Parameter` plus BatchNorm
+    running statistics, in module-walk order — the exact inputs of a
+    parameter-table export — and memoizes on the instance (the
+    inference stack never mutates weights).  The skeleton deep-copy
+    carries the memo, so stripped pool workers can still key into the
+    program cache.
+    """
+    cached = getattr(network, "_param_fingerprint", None)
+    if cached is not None:
+        return cached
+    if getattr(network, "_parameters_stripped", False):
+        raise RuntimeError(
+            "cannot fingerprint a parameter-stripped network skeleton; "
+            "fingerprint before stripping (network_skeleton preserves it)"
+        )
+    from ..neural.layers import BatchNorm
+
+    digest = hashlib.sha256()
+    digest.update(type(network).__name__.encode())
+    for module in network.modules():
+        digest.update(type(module).__name__.encode())
+        if isinstance(module, BatchNorm):
+            for stat in (module.running_mean, module.running_var):
+                arr = np.ascontiguousarray(stat)
+                digest.update(str(arr.shape).encode())
+                digest.update(arr.data)
+    for param in network.parameters():
+        arr = np.ascontiguousarray(param.data)
+        digest.update(str(arr.shape).encode())
+        digest.update(str(arr.dtype).encode())
+        digest.update(arr.data)
+    value = digest.hexdigest()
+    try:
+        network._param_fingerprint = value
+    except AttributeError:
+        pass
+    return value
+
+
+def network_skeleton(network):
+    """A deep copy of ``network`` with every parameter array stripped.
+
+    The copy preserves structure, specs and eval/train flags — enough
+    to rebuild graphs and compile kernel programs against an attached
+    :class:`~repro.backend.params.ParameterTable` — but pickles at a
+    fraction of the full network's size because every weight,
+    bias and running statistic is replaced by an empty array.  Each
+    module is flagged ``_parameters_stripped`` so any path that would
+    silently re-export weights raises instead.
+    """
+    from ..neural.layers import BatchNorm
+
+    network_fingerprint(network)  # memoize before the arrays vanish
+    memo = {}
+    for param in network.parameters():
+        memo[id(param.data)] = np.empty(0, dtype=param.data.dtype)
+    for module in network.modules():
+        if isinstance(module, BatchNorm):
+            for stat in (module.running_mean, module.running_var):
+                memo[id(stat)] = np.empty(0, dtype=np.asarray(stat).dtype)
+    skeleton = copy.deepcopy(network, memo)
+    for module in skeleton.modules():
+        module._parameters_stripped = True
+    skeleton._parameters_stripped = True
+    return skeleton
+
+
+# -- shared-memory transport -------------------------------------------------
+
+
+class SharedTable:
+    """Parent-side handle of a table published to shared memory.
+
+    ``descriptor()`` is the picklable token workers pass to
+    :func:`attach_table`; the parent must keep this handle alive while
+    workers attach and call :meth:`close` (which unlinks) when the pool
+    shuts down.
+    """
+
+    def __init__(self, shm, manifest):
+        self._shm = shm
+        self.manifest = manifest
+
+    def descriptor(self):
+        return {"kind": "shm", "name": self._shm.name,
+                "manifest": self.manifest, "owner_pid": os.getpid()}
+
+    def close(self, unlink=True):
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        shm.close()
+        if unlink:
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+
+
+def share_table(table):
+    """Publish a packed table to shared memory; returns a handle.
+
+    One copy of the bytes lands in the segment; every worker that
+    attaches maps the same physical pages.
+    """
+    from multiprocessing import shared_memory
+
+    manifest, blob = table.pack()
+    shm = shared_memory.SharedMemory(create=True, size=max(1, len(blob)))
+    shm.buf[:len(blob)] = blob
+    return SharedTable(shm, manifest)
+
+
+def _attach_shm(name, foreign=True):
+    from multiprocessing import shared_memory
+
+    try:
+        # Python >= 3.13: opt out of resource tracking on attach — the
+        # creating process owns the segment's lifetime.
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+    if not foreign:
+        # Attaching in the owner process itself (serial pool degrade):
+        # the registration is the owner's own, leave tracking alone.
+        return shared_memory.SharedMemory(name=name)
+    # Pre-3.13 attach registers with the resource tracker, which spawned
+    # workers *share* with the parent (spawn passes tracker_fd), so a
+    # later unregister here would clobber the owner's registration and
+    # its unlink would double-unregister.  Suppress the registration
+    # instead — the owner tracks and unlinks the segment.
+    from multiprocessing import resource_tracker
+
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+
+def attach_table(descriptor):
+    """Rebuild a :class:`ParameterTable` zero-copy from a descriptor.
+
+    ``{"kind": "shm", ...}`` attaches the parent's shared-memory
+    segment by name; ``{"kind": "file", ...}`` maps a program-cache
+    blob read-only.  Either way the table's arrays are views over
+    memory this process never copied.
+    """
+    kind = descriptor["kind"]
+    if kind == "shm":
+        foreign = descriptor.get("owner_pid") != os.getpid()
+        shm = _attach_shm(descriptor["name"], foreign=foreign)
+        return ParameterTable.from_buffer(descriptor["manifest"], shm.buf,
+                                          backing=shm)
+    if kind == "file":
+        cache = ProgramCache(descriptor["directory"])
+        return cache.table(descriptor["digest"])
+    raise ValueError(f"unknown parameter-table descriptor kind {kind!r}")
+
+
+# -- the on-disk program cache -----------------------------------------------
+
+
+def _tuple_deep(value):
+    if isinstance(value, list):
+        return tuple(_tuple_deep(item) for item in value)
+    return value
+
+
+def _plan_to_json(plan):
+    return {
+        "total_bytes": plan.total_bytes,
+        "n_positions": plan.n_positions,
+        "pool_bytes": plan.pool_bytes,
+        "buffers": [
+            {
+                "key": b.key, "shape": list(b.shape), "dtype": b.dtype,
+                "nbytes": b.nbytes, "offset": b.offset,
+                "def_pos": b.def_pos, "last_pos": b.last_pos,
+                "guards": list(b.guards), "nodes": list(b.nodes),
+            }
+            for b in plan.buffers
+        ],
+    }
+
+
+def _plan_from_json(data):
+    return ArenaPlan(
+        total_bytes=data["total_bytes"],
+        n_positions=data["n_positions"],
+        pool_bytes=data["pool_bytes"],
+        buffers=tuple(
+            ArenaBuffer(
+                key=_tuple_deep(b["key"]), shape=tuple(b["shape"]),
+                dtype=b["dtype"], nbytes=b["nbytes"], offset=b["offset"],
+                def_pos=b["def_pos"], last_pos=b["last_pos"],
+                guards=tuple(b["guards"]), nodes=tuple(b["nodes"]),
+            )
+            for b in data["buffers"]
+        ),
+    )
+
+
+class ProgramCache:
+    """Content-addressed store of compiled kernel programs.
+
+    Layout under ``directory``::
+
+        <digest>.json   program manifest: config, kernel labels, arena
+                        plans, the parameter-table manifest
+        <digest>.bin    the packed parameter blob (memmapped on load)
+        index.json      config key -> digest
+
+    The config key includes a fingerprint of the source weights, so a
+    retrained network misses cleanly instead of loading stale
+    parameters; the digest is a hash of the manifest + blob, so equal
+    programs share one entry no matter how many configs point at them.
+    """
+
+    def __init__(self, directory):
+        self.directory = os.path.abspath(str(directory))
+        os.makedirs(self.directory, exist_ok=True)
+
+    # -- index ---------------------------------------------------------------
+
+    def _index_path(self):
+        return os.path.join(self.directory, "index.json")
+
+    def _read_index(self):
+        try:
+            with open(self._index_path()) as handle:
+                return json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return {}
+
+    def _write_index(self, index):
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(index, handle, indent=1, sort_keys=True)
+            os.replace(tmp, self._index_path())
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except FileNotFoundError:
+                pass
+            raise
+
+    @staticmethod
+    def config_key(network_name, strategy, backend_name, batched,
+                   fingerprint):
+        arity = "batched" if batched else "single"
+        return f"{network_name}|{strategy}|{backend_name}|{arity}|" \
+               f"{fingerprint}"
+
+    def digest_for(self, network_name, strategy, backend_name, batched,
+                   fingerprint):
+        """The stored digest for a configuration, or ``None``."""
+        key = self.config_key(network_name, strategy, backend_name, batched,
+                              fingerprint)
+        return self._read_index().get(key)
+
+    # -- store / load --------------------------------------------------------
+
+    def _manifest_path(self, digest):
+        return os.path.join(self.directory, f"{digest}.json")
+
+    def _blob_path(self, digest):
+        return os.path.join(self.directory, f"{digest}.bin")
+
+    def store(self, program, fingerprint=None):
+        """Persist a compiled program; returns its content digest."""
+        if fingerprint is None:
+            fingerprint = network_fingerprint(program.network)
+        table_manifest, blob = program.table.pack()
+        with program._plans_lock:
+            plans = dict(program._plans)
+        manifest = {
+            "format": 1,
+            "kind": "kernel-program",
+            "network": program.ngraph.network,
+            "strategy": program.ngraph.strategy,
+            "backend": program.backend.name,
+            "dtype": str(np.dtype(program.backend.dtype)),
+            "batched": program.batched,
+            "fingerprint": fingerprint,
+            "kernels": list(program.kernel_labels),
+            "plans": {
+                ",".join(str(d) for d in sig): _plan_to_json(plan)
+                for sig, plan in plans.items()
+            },
+            "params": table_manifest,
+        }
+        body = json.dumps(manifest, sort_keys=True).encode()
+        digest = hashlib.sha256(body).hexdigest()
+        manifest_path = self._manifest_path(digest)
+        if not os.path.exists(manifest_path):
+            blob_path = self._blob_path(digest)
+            with open(blob_path + ".tmp", "wb") as handle:
+                handle.write(blob)
+            os.replace(blob_path + ".tmp", blob_path)
+            with open(manifest_path + ".tmp", "w") as handle:
+                json.dump(manifest, handle, sort_keys=True)
+            os.replace(manifest_path + ".tmp", manifest_path)
+        index = self._read_index()
+        key = self.config_key(manifest["network"], manifest["strategy"],
+                              manifest["backend"], manifest["batched"],
+                              fingerprint)
+        if index.get(key) != digest:
+            index[key] = digest
+            self._write_index(index)
+        return digest
+
+    def manifest(self, digest):
+        with open(self._manifest_path(digest)) as handle:
+            return json.load(handle)
+
+    def table(self, digest, manifest=None):
+        """The stored parameter table, memmapped read-only (zero-copy)."""
+        if manifest is None:
+            manifest = self.manifest(digest)
+        mapped = np.memmap(self._blob_path(digest), dtype=np.uint8,
+                           mode="r")
+        return ParameterTable.from_buffer(manifest["params"], mapped,
+                                          backing=mapped)
+
+    def load(self, digest, ngraph, network, plan_memory=True):
+        """Rebuild a runnable program from a stored digest.
+
+        The kernel closures recompile against ``ngraph`` (cheap — a
+        few ms); the parameters map zero-copy and the arena plans seed
+        directly, so no measuring run and no weight export happen.
+        Raises :class:`ValueError` when the stored kernel list no
+        longer matches what this code compiles — the stale-cache
+        signal ``program_for`` recovers from by recompiling.
+        """
+        manifest = self.manifest(digest)
+        table = self.table(digest, manifest)
+        backend = get_backend(manifest["backend"])
+        program = KernelProgram(ngraph, network, backend,
+                                manifest["batched"], params=table,
+                                plan_memory=plan_memory)
+        if list(program.kernel_labels) != manifest["kernels"]:
+            raise ValueError(
+                f"stored program {digest[:12]} kernel list is stale for "
+                "the current compiler"
+            )
+        if plan_memory:
+            program.seed_plans({
+                tuple(int(d) for d in sig.split(",") if d):
+                    _plan_from_json(plan)
+                for sig, plan in manifest["plans"].items()
+            })
+        return program
+
+    def program_for(self, ngraph, network, backend, batched, params=None,
+                    plan_memory=True):
+        """Load-or-compile: the executor's entry point.
+
+        A cache hit rebuilds from disk (zero-copy parameters, seeded
+        plans); a miss compiles normally and persists the result so
+        the next process — or the next CI step — hits.  ``params``
+        short-circuits the disk path entirely: the caller already
+        holds an attached table, and a skeleton network could not
+        re-export one anyway.
+        """
+        backend = get_backend(backend)
+        if params is not None:
+            return KernelProgram(ngraph, network, backend, batched,
+                                 params=params, plan_memory=plan_memory)
+        fingerprint = network_fingerprint(network)
+        digest = self.digest_for(ngraph.network, ngraph.strategy,
+                                 backend.name, batched, fingerprint)
+        if digest is not None:
+            try:
+                return self.load(digest, ngraph, network,
+                                 plan_memory=plan_memory)
+            except (OSError, ValueError, KeyError, json.JSONDecodeError):
+                pass  # stale or damaged entry: recompile below
+        program = KernelProgram(ngraph, network, backend, batched,
+                                plan_memory=plan_memory)
+        self.store(program, fingerprint)
+        return program
+
+    def descriptor_for(self, network, strategy, backend, batched=False):
+        """A picklable ``{"kind": "file"}`` token for pool workers.
+
+        Compiles-and-stores on first use, so the parent pays the
+        export once and every worker maps ``<digest>.bin`` read-only.
+        """
+        backend = get_backend(backend)
+        ngraph = network.network_graph(strategy)
+        program = self.program_for(ngraph, network, backend, batched)
+        digest = self.store(program)
+        return {"kind": "file", "directory": self.directory,
+                "digest": digest}

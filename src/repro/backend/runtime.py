@@ -12,9 +12,21 @@ pre-packed parameter table (:mod:`repro.backend.params`):
   GEMM+bias+ReLU chain kernel running through preallocated ping-pong
   buffers;
 * gather / reduce-max / subtract (and the fused ``aggregate``) operate
-  on raw arrays with preallocated output buffers — no ``Tensor``
-  wrappers, no ``_from_op`` closures, no autograd bookkeeping on the
-  inference path;
+  on raw arrays with planned output buffers — no ``Tensor`` wrappers,
+  no ``_from_op`` closures, no autograd bookkeeping on the inference
+  path;
+* scratch memory is **arena-planned** (:mod:`repro.backend.memplan`):
+  the first run per (thread, input signature) measures every buffer
+  request, liveness over the kernel schedule packs them into one
+  contiguous arena with best-fit reuse, and steady-state runs execute
+  out of arena views — peak working-set bytes drop by the measured
+  reuse instead of summing every kernel's buffer (``plan_memory=False``
+  restores the PR 5 one-buffer-per-kernel pool, and is the baseline
+  the CI ``mem`` gates compare against);
+* parameters live in one content-hashed
+  :class:`~repro.backend.params.ParameterTable` shared across arities,
+  executors and same-dtype backends — and, packed, across *processes*
+  (:mod:`repro.backend.aot`);
 * centroid sampling is resolved at compile time (it is a deterministic
   function of the static graph shapes), and neighbor searches run in
   the backend's search dtype unless the active
@@ -47,9 +59,77 @@ import numpy as np
 from ..graph.network import MODULE_KINDS
 from ..neighbors import active_search_options, neighbor_search
 from .array import get_backend
-from .params import export_segment, export_stack, segment_layers
+from .memplan import (
+    BufferRecord,
+    GraphLiveness,
+    plan_arena,
+    record_aliases,
+    validate_plan,
+)
+from .params import ParameterTable
 
 __all__ = ["KernelProgram", "NetworkKernelExecutor", "compile_kernel_program"]
+
+
+class _DictPool:
+    """PR 5 semantics: one persistent buffer per kernel-output key."""
+
+    def __init__(self, backend):
+        self.backend = backend
+        self.buffers = {}
+
+    def request(self, key, shape, pos):
+        buf = self.buffers.get(key)
+        if buf is None or buf.shape != tuple(shape):
+            buf = self.backend.empty(shape)
+            self.buffers[key] = buf
+        return buf
+
+    def nbytes(self):
+        return sum(b.nbytes for b in self.buffers.values())
+
+
+class _MeasuringPool(_DictPool):
+    """A dict pool that records every request for the arena planner."""
+
+    def __init__(self, backend):
+        super().__init__(backend)
+        self.records = []
+
+    def request(self, key, shape, pos):
+        existing = self.buffers.get(key)
+        buf = super().request(key, shape, pos)
+        if buf is not existing:
+            self.records.append(BufferRecord(
+                key=key, shape=tuple(shape), dtype=str(buf.dtype),
+                nbytes=buf.nbytes, def_pos=pos, array=buf,
+            ))
+        return buf
+
+
+class _ArenaPool:
+    """Planned execution: every request resolves to an arena view."""
+
+    def __init__(self, backend, plan):
+        self.backend = backend
+        self.plan = plan
+        self.arena = np.empty(plan.total_bytes, dtype=np.uint8)
+        self.views = {}
+        for b in plan.buffers:
+            view = self.arena[b.offset:b.offset + b.nbytes]
+            self.views[b.key] = view.view(np.dtype(b.dtype)).reshape(b.shape)
+
+    def request(self, key, shape, pos):
+        view = self.views.get(key)
+        if view is None or view.shape != tuple(shape):
+            # A request the measuring run never saw (or at a drifted
+            # shape) falls back to a fresh allocation — correct, just
+            # unplanned.
+            return self.backend.empty(shape)
+        return view
+
+    def nbytes(self):
+        return self.arena.nbytes
 
 
 class KernelProgram:
@@ -58,41 +138,46 @@ class KernelProgram:
     Built by :func:`compile_kernel_program`; :meth:`run` executes the
     kernels front to back over one cloud (or a ``(B, N, 3)`` stack when
     compiled ``batched``) and returns the network outputs as inference
-    tensors.  Scratch buffers are preallocated per thread, so a single
-    program may run concurrently from multiple threads.
+    tensors.  Scratch memory is arena-planned per (thread, input
+    signature) — see :mod:`repro.backend.memplan` — so a single program
+    may run concurrently from multiple threads; parameters come from a
+    shared :class:`~repro.backend.params.ParameterTable` (``params=``
+    accepts a pre-built — possibly zero-copy-attached — table).
     """
 
-    def __init__(self, ngraph, network, backend, batched):
+    def __init__(self, ngraph, network, backend, batched, params=None,
+                 plan_memory=True):
         self.ngraph = ngraph
         self.network = network
         self.backend = get_backend(backend)
         self.batched = bool(batched)
-        #: ref index -> packed per-segment parameter table.
-        self.params = {}
+        self.plan_memory = bool(plan_memory)
+        if params is None:
+            params = ParameterTable.for_graph(ngraph, self.backend)
+        elif np.dtype(params.dtype) != np.dtype(self.backend.dtype):
+            raise ValueError(
+                f"parameter table dtype {params.dtype} does not match "
+                f"backend {self.backend.name!r}"
+            )
+        #: The packed parameter table every kernel reads through.
+        self.table = params
         self._kernels = []
+        self._kernel_nodes = []
         self._local = threading.local()
+        self._plans = {}
+        self._plans_lock = threading.Lock()
         self._compile()
+        self._liveness = GraphLiveness(ngraph.graph, self._kernel_nodes)
 
     # -- compile-time helpers ------------------------------------------------
 
     def _stages(self, index):
-        """The packed parameter stack of graph ref ``index`` (memoized)."""
-        stack = self.params.get(index)
-        if stack is None:
-            obj = self.ngraph.refs[index]
-            layers = obj.export_layers() if hasattr(obj, "export_layers") \
-                else list(obj.net.layers)
-            stack = self.params[index] = export_stack(layers, self.backend)
-        return stack
+        """The packed parameter stack of graph ref ``index``."""
+        return self.table.stages(index)
 
     def _buffer(self, ctx, key, shape):
-        """Per-thread scratch buffer for one kernel output."""
-        buffers = ctx["buffers"]
-        buf = buffers.get(key)
-        if buf is None or buf.shape != tuple(shape):
-            buf = self.backend.empty(shape)
-            buffers[key] = buf
-        return buf
+        """Scratch buffer for one kernel output, from the active pool."""
+        return ctx["alloc"].request(key, shape, ctx["pos"])
 
     def _search_dtype(self):
         """Backend search dtype, unless the active context pins one."""
@@ -128,12 +213,18 @@ class KernelProgram:
         for position, node in enumerate(graph.nodes):
             if node.id in consumed:
                 continue
+            before = set(consumed)
             if node.kind in MODULE_KINDS:
                 kernel = self._compile_module_node(graph, position, node,
                                                    consumed)
             else:
                 kernel = self._compile_network_node(graph, node)
             self._kernels.append((f"{node.kind}:{node.id}", kernel))
+            # The graph values this kernel covers (a folded chain's
+            # links all materialize here) — the planner's position map.
+            self._kernel_nodes.append(
+                (node.id, *sorted(consumed - before))
+            )
 
     def _compile_module_node(self, graph, position, node, consumed):
         kind = node.kind
@@ -242,8 +333,6 @@ class KernelProgram:
         the intermediates can live entirely in the chain's ping-pong
         buffers.
         """
-        module = self.ngraph.refs[midx]
-        segments = segment_layers(module.mlp.export_layers())
         chain = [node]
         nodes = graph.nodes
         for follower in nodes[position + 1:]:
@@ -257,8 +346,8 @@ class KernelProgram:
         consumed.update(n.id for n in chain[1:])
         specs = []
         for link in chain:
-            ops = export_segment(
-                segments[link.attrs["layer"]], self.backend,
+            ops = self.table.module_segment(
+                midx, link.attrs["layer"],
                 weight_only=bool(link.attrs.get("weight_only")),
             )
             specs.append((link.id, ops))
@@ -365,10 +454,8 @@ class KernelProgram:
         return kernel
 
     def _k_epilogue(self, graph, node, midx):
-        module = self.ngraph.refs[midx]
-        segments = segment_layers(module.mlp.export_layers())
-        ops = export_segment(segments[node.attrs["layer"]], self.backend,
-                             epilogue=True)
+        ops = self.table.module_segment(midx, node.attrs["layer"],
+                                        epilogue=True)
         source, nid = node.inputs[0], node.id
         # The epilogue runs in place; copy first unless it is the sole
         # consumer of its input.
@@ -532,19 +619,64 @@ class KernelProgram:
 
     # -- execution -----------------------------------------------------------
 
-    def _buffers(self):
-        buffers = getattr(self._local, "buffers", None)
-        if buffers is None:
-            buffers = self._local.buffers = {}
-        return buffers
+    def _state(self):
+        state = getattr(self._local, "state", None)
+        if state is None:
+            state = self._local.state = {"pool": None, "sig": None,
+                                         "arena": None}
+        return state
 
-    def run(self, coords):
+    def _plan(self, sig):
+        with self._plans_lock:
+            return self._plans.get(sig)
+
+    def _install_plan(self, sig, measuring):
+        plan = validate_plan(plan_arena(measuring.records, self._liveness),
+                             self._liveness)
+        with self._plans_lock:
+            self._plans.setdefault(sig, plan)
+
+    def seed_plans(self, plans):
+        """Install precomputed arena plans (the AOT program-cache path)."""
+        with self._plans_lock:
+            for sig, plan in plans.items():
+                self._plans.setdefault(tuple(sig), plan)
+
+    def _allocator(self, state, sig):
+        """The scratch pool for this run; None second value = planned.
+
+        Returns ``(pool, measuring)`` — ``measuring`` is the recording
+        pool when this run must measure for the planner.
+        """
+        if not self.plan_memory:
+            pool = state["pool"]
+            if pool is None:
+                pool = state["pool"] = _DictPool(self.backend)
+            return pool, None
+        plan = self._plan(sig)
+        if plan is None:
+            measuring = _MeasuringPool(self.backend)
+            return measuring, measuring
+        arena = state["arena"]
+        if arena is None or arena.plan is not plan:
+            arena = _ArenaPool(self.backend, plan)
+            state["arena"], state["sig"] = arena, sig
+        return arena, None
+
+    def run(self, coords, on_kernel=None):
         """Execute the program over one cloud (or a batched stack).
 
         Returns the network outputs as inference :class:`~repro.neural.Tensor`
         values (a dict for multi-output networks), matching the network
         executors' contract.  Output arrays are fresh copies — scratch
         buffers never escape a run.
+
+        With memory planning on (the default) the first run per
+        (thread, input-shape) pair measures buffer lifetimes and
+        installs an arena plan; steady-state runs execute out of the
+        packed arena, bit-identically.  ``on_kernel(pos, label, env,
+        ctx)``, when given, is invoked after each kernel — the hook the
+        aliasing tests use to corrupt dead arena regions mid-run.
         """
         from ..neural import Tensor
 
@@ -559,16 +691,37 @@ class KernelProgram:
                 f"single-cloud program expects (n, 3) coords, "
                 f"got {coords.shape}"
             )
+        sig = tuple(coords.shape)
+        alloc, measuring = self._allocator(self._state(), sig)
         ctx = {
             "coords": coords,
             "batch": coords.shape[0] if self.batched else 1,
             "rows": {},
             "crows": {},
-            "buffers": self._buffers(),
+            "alloc": alloc,
+            "pos": 0,
         }
         env = {}
-        for _, kernel in self._kernels:
-            kernel(env, ctx)
+        if measuring is None:
+            for pos, (label, kernel) in enumerate(self._kernels):
+                ctx["pos"] = pos
+                kernel(env, ctx)
+                if on_kernel is not None:
+                    on_kernel(pos, label, env, ctx)
+        else:
+            seen = set()
+            for pos, (label, kernel) in enumerate(self._kernels):
+                ctx["pos"] = pos
+                kernel(env, ctx)
+                # Map freshly-produced values onto the buffers backing
+                # them — in-place epilogues and reshape escapes extend
+                # buffer liveness past the defining kernel.
+                fresh = [(nid, env[nid]) for nid in env.keys() - seen]
+                record_aliases(measuring.records, fresh)
+                seen.update(env.keys())
+                if on_kernel is not None:
+                    on_kernel(pos, label, env, ctx)
+            self._install_plan(sig, measuring)
         values = {}
         for out in self.ngraph.outputs:
             value = env[out.node].copy()
@@ -580,18 +733,89 @@ class KernelProgram:
             return values[None]
         return values
 
+    # -- planner introspection ----------------------------------------------
+
+    def plan_for(self, coords):
+        """The arena plan for ``coords``' shape (measuring if needed)."""
+        if not self.plan_memory:
+            raise ValueError("memory planning is disabled on this program")
+        sig = tuple(np.asarray(coords).shape)
+        plan = self._plan(sig)
+        if plan is None:
+            self.run(coords)
+            plan = self._plan(sig)
+        return plan
+
+    def memory_stats(self):
+        """Planner statistics across every input signature seen so far."""
+        if not self.plan_memory:
+            pool = self._state()["pool"]
+            return {
+                "planned": False,
+                "pool_bytes": 0 if pool is None else pool.nbytes(),
+            }
+        with self._plans_lock:
+            plans = list(self._plans.values())
+        return {
+            "planned": True,
+            "signatures": len(plans),
+            "buffers": sum(len(p.buffers) for p in plans),
+            "arena_bytes": sum(p.total_bytes for p in plans),
+            "pool_bytes": sum(p.pool_bytes for p in plans),
+            "peak_live_bytes": sum(p.peak_live_bytes for p in plans),
+        }
+
+    def memory_report(self, coords):
+        """Per-phase peaks before/after planning, plus the arena plan.
+
+        ``repro trace --memory`` prints this: *before* is the
+        cumulative per-kernel pool (PR 5 never frees, so bytes only
+        grow), *after* the planned live bytes at each kernel, both
+        bucketed by the executing node's phase.
+        """
+        plan = self.plan_for(coords)
+        phase_of = self._liveness.phase_of(self.ngraph.graph)
+        allocated, phases = 0, {}
+        by_def = {}
+        for b in plan.buffers:
+            by_def.setdefault(b.def_pos, []).append(b)
+        for pos in range(len(self._kernels)):
+            allocated += sum(b.nbytes for b in by_def.get(pos, ()))
+            entry = phases.setdefault(phase_of[pos],
+                                      {"before": 0, "after": 0})
+            entry["before"] = max(entry["before"], allocated)
+            entry["after"] = max(entry["after"], plan.live_bytes_at(pos))
+        return {
+            "plan": plan,
+            "phases": phases,
+            "n_kernels": len(self._kernels),
+            "arena_bytes": plan.total_bytes,
+            "pool_bytes": plan.pool_bytes,
+            "peak_live_bytes": plan.peak_live_bytes,
+        }
+
+    @property
+    def kernel_labels(self):
+        """The compiled kernel labels, in execution order."""
+        return tuple(label for label, _ in self._kernels)
+
 
 def compile_kernel_program(network, strategy="delayed", backend="float64",
-                           batched=False):
+                           batched=False, params=None, plan_memory=True):
     """Compile ``network`` under ``strategy`` into a :class:`KernelProgram`.
 
     The network's whole-network graph (memoized on the instance) is
     lowered against ``backend`` (a name, dtype or
     :class:`~repro.backend.array.ArrayBackend`); ``batched`` selects
-    the flat-batch arity.
+    the flat-batch arity.  ``params`` supplies a pre-built
+    :class:`~repro.backend.params.ParameterTable` (e.g. one attached
+    zero-copy from the program cache or shared memory) instead of
+    exporting the network's weights; ``plan_memory=False`` restores
+    the per-kernel buffer pool.
     """
     return KernelProgram(network.network_graph(strategy), network,
-                         get_backend(backend), batched)
+                         get_backend(backend), batched, params=params,
+                         plan_memory=plan_memory)
 
 
 class NetworkKernelExecutor:
@@ -605,8 +829,18 @@ class NetworkKernelExecutor:
     scratch keeps one executor safe to share across an async pipeline.
     """
 
-    def __init__(self, backend="float64"):
+    def __init__(self, backend="float64", params=None, program_cache=None,
+                 plan_memory=True):
         self.backend = get_backend(backend)
+        #: Optional pre-built (possibly zero-copy-attached) parameter
+        #: table every compiled program reads through — the pool-worker
+        #: path, where weights arrive via shared memory instead of
+        #: re-export.
+        self.params = params
+        #: Optional :class:`~repro.backend.aot.ProgramCache`; programs
+        #: load from (and first-compiles persist to) it.
+        self.program_cache = program_cache
+        self.plan_memory = bool(plan_memory)
         self._programs = {}
 
     def program(self, ngraph, network, batched):
@@ -614,8 +848,16 @@ class NetworkKernelExecutor:
         key = (id(ngraph), bool(batched))
         entry = self._programs.get(key)
         if entry is None or entry[0] is not ngraph:
-            entry = (ngraph,
-                     KernelProgram(ngraph, network, self.backend, batched))
+            if self.program_cache is not None:
+                program = self.program_cache.program_for(
+                    ngraph, network, self.backend, batched,
+                    params=self.params, plan_memory=self.plan_memory,
+                )
+            else:
+                program = KernelProgram(ngraph, network, self.backend,
+                                        batched, params=self.params,
+                                        plan_memory=self.plan_memory)
+            entry = (ngraph, program)
             self._programs[key] = entry
         return entry[1]
 

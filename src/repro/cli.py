@@ -4,8 +4,12 @@ Commands
 --------
 report
     Print the full paper-style evaluation report.
-trace NETWORK [--strategy S]
-    Print the operator trace of one benchmark network.
+trace NETWORK [--strategy S] [--memory]
+    Print the operator trace of one benchmark network (``--memory``
+    prints the planner's per-phase peaks and arena layout instead).
+compile NETWORK [--strategy S] [--backend B] [--cache DIR]
+    Ahead-of-time compile kernel programs into an on-disk program
+    cache (packed parameters + measured arena plans).
 simulate NETWORK [--config C]
     Simulate one network on one SoC configuration.
 networks
@@ -52,6 +56,8 @@ def _cmd_trace(args):
     from .networks import build_network
 
     net = build_network(args.network)
+    if args.memory:
+        return _trace_memory(net, args.strategy)
     trace = net.trace(args.strategy)
     print(f"{net.name} [{args.strategy}] — {len(trace)} ops, "
           f"{trace.mlp_macs() / 1e6:.1f} M MLP MACs")
@@ -82,6 +88,57 @@ def _cmd_trace(args):
     for phase, row in trace.phase_summary().items():
         print(f"  {phase}    {row['ops']:3d} {row['macs']:11,d} "
               f"{row['bytes_read']:12,d} {row['bytes_written']:14,d}")
+    return 0
+
+
+def _trace_memory(net, strategy):
+    """``repro trace --memory``: planner peaks and the arena layout."""
+    from .backend import compile_kernel_program
+
+    program = compile_kernel_program(net, strategy, backend="float64")
+    cloud = np.random.default_rng(0).normal(size=(net.n_points, 3))
+    report = program.memory_report(cloud)
+    plan = report["plan"]
+    print(f"{net.name} [{strategy}] — {report['n_kernels']} kernels, "
+          f"{len(plan.buffers)} scratch buffers")
+    print(f"  per-kernel pool peak {report['pool_bytes']:12,d} B   "
+          f"(the PR 5 never-freeing baseline)")
+    print(f"  planned arena        {report['arena_bytes']:12,d} B   "
+          f"(peak live {report['peak_live_bytes']:,} B, "
+          f"reduction {plan.reduction * 100:.1f}%)")
+    print("  phase   peak before     peak after")
+    for phase, row in report["phases"].items():
+        print(f"    {phase}   {row['before']:13,d} B {row['after']:13,d} B")
+    print(plan.describe())
+    return 0
+
+
+def _cmd_compile(args):
+    """Ahead-of-time compile programs into the on-disk cache."""
+    from .backend import ProgramCache, compile_kernel_program
+    from .networks import build_network
+
+    cache = ProgramCache(args.cache)
+    rng = np.random.default_rng(0)
+    for name in args.network or ["PointNet++ (c)"]:
+        net = build_network(name, scale=args.scale)
+        for batched in (False, True):
+            program = compile_kernel_program(
+                net, args.strategy, backend=args.backend, batched=batched
+            )
+            # Measure the representative shape's arena plan before
+            # storing, so loads start with the plan pre-seeded.
+            if batched:
+                sample = rng.normal(size=(args.batch, net.n_points, 3))
+            else:
+                sample = rng.normal(size=(net.n_points, 3))
+            plan = program.plan_for(sample)
+            digest = cache.store(program)
+            arity = "batched" if batched else "single "
+            print(f"{digest[:16]}  {net.name} [{args.strategy}] "
+                  f"{args.backend} {arity}  arena {plan.total_bytes:10,d} B "
+                  f"(-{plan.reduction * 100:.1f}% vs pool)")
+    print(f"programs cached in {cache.directory}")
     return 0
 
 
@@ -231,6 +288,15 @@ def _cmd_bench(args):
           f"({be['speedup_fast_batched']:.2f}x, "
           f"rel err {be['fast_max_rel_err']:.1e}, "
           f"top-1 {'ok' if be['fast_argmax_equal'] else 'DIFFERS'})")
+    mem = results["mem"]
+    print(f"  mem      pool {mem['pool_bytes'] / 1e6:8.2f} MB   "
+          f"arena {mem['arena_bytes'] / 1e6:8.2f} MB "
+          f"(-{mem['peak_reduction'] * 100:.1f}%, "
+          f"bit-exact {'yes' if mem['bit_exact'] else 'NO'})   "
+          f"spin-up {mem['spinup_pickle_ms']:.2f} -> "
+          f"{mem['spinup_shared_ms']:.2f} ms "
+          f"({mem['speedup_spinup']:.1f}x)   "
+          f"cache load {mem['speedup_cache_load']:.1f}x")
     write_json(results, args.output)
     print(f"wrote {args.output}")
     return 0
@@ -282,25 +348,21 @@ def _serve_handle_line(server, line, emit):
 
 
 def _build_server(args):
-    from .engine import AsyncRunner, BatchRunner
     from .serve import BatchPolicy, Server
 
-    backend = _serve_backend(args.serve_backend)
-    runners = []
-    for name in args.network or ["PointNet++ (c)"]:
-        from .networks import build_network
-
-        net = build_network(name, scale=args.scale)
-        if args.runner == "async":
-            runners.append(AsyncRunner(net, strategy=args.strategy,
-                                       kernel_backend=backend))
-        else:
-            runners.append(BatchRunner(net, strategy=args.strategy,
-                                       backend=backend))
     policy = BatchPolicy(max_batch=args.max_batch,
                          max_wait_ms=args.max_wait_ms,
                          max_queue=args.max_queue)
-    return Server(runners, policy=policy, workers=args.workers)
+    return Server.hosting(
+        args.network or ["PointNet++ (c)"],
+        strategy=args.strategy,
+        scale=args.scale,
+        runner=args.runner,
+        backend=_serve_backend(args.serve_backend),
+        program_cache=args.program_cache,
+        policy=policy,
+        workers=args.workers,
+    )
 
 
 def _cmd_serve(args):
@@ -393,6 +455,27 @@ def build_parser():
     p_trace.add_argument("--schedule", action="store_true",
                          help="print the N/F-lane overlap schedules the "
                               "async scheduler executes")
+    p_trace.add_argument("--memory", action="store_true",
+                         help="print the kernel runtime's per-phase memory "
+                              "peaks before/after arena planning, plus the "
+                              "planned arena layout")
+
+    p_compile = sub.add_parser(
+        "compile", help="AOT-compile kernel programs into a program cache"
+    )
+    p_compile.add_argument("network", nargs="*",
+                           help="networks to compile (default PointNet++ (c))")
+    p_compile.add_argument("--strategy", default="delayed",
+                           choices=("original", "delayed", "limited"))
+    p_compile.add_argument("--backend", default="float64",
+                           choices=("float64", "float32"))
+    p_compile.add_argument("--scale", type=float, default=0.125)
+    p_compile.add_argument("--batch", type=int, default=8,
+                           help="representative batch size whose arena plan "
+                                "is measured and stored with the program")
+    p_compile.add_argument("--cache", default=".repro-programs", metavar="DIR",
+                           help="program cache directory (content-addressed; "
+                                "safe to reuse across networks and restarts)")
 
     p_sim = sub.add_parser("simulate", help="simulate a network on an SoC")
     p_sim.add_argument("network")
@@ -470,6 +553,12 @@ def _add_serve_options(parser, bench):
                         help="execution path requests drain through: the "
                              "batched graph interpreter or a compiled "
                              "kernel backend")
+    parser.add_argument("--program-cache", default=None, metavar="DIR",
+                        help="on-disk AOT program cache directory; kernel "
+                             "programs load precompiled (memmapped packed "
+                             "parameters, measured arena plans) and "
+                             "first-compiles persist for the next start — "
+                             "warm it with 'repro compile'")
     if bench:
         parser.add_argument("--deadline-ms", type=float, default=750.0,
                             help="p99 budget the serve row records for "
@@ -480,6 +569,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "networks": _cmd_networks,
     "trace": _cmd_trace,
+    "compile": _cmd_compile,
     "simulate": _cmd_simulate,
     "train": _cmd_train,
     "bench": _cmd_bench,

@@ -25,7 +25,7 @@ from .parallel import ParallelRunner, kdtree_nit_task
 from .runner import BatchRunner
 from .scheduler import AsyncRunner
 
-__all__ = ["bench_meta", "run_benchmarks", "write_json"]
+__all__ = ["bench_mem", "bench_meta", "run_benchmarks", "write_json"]
 
 
 def bench_meta(quick=False):
@@ -608,6 +608,126 @@ def bench_backend(network="PointNet++ (c)", batch=16, scale=0.125,
     }
 
 
+def bench_mem(network="PointNet++ (c)", batch=8, scale=0.125,
+              strategy="delayed", repeats=2, seed=0):
+    """Memory planner + AOT program cache vs the PR 5 runtime.
+
+    Three comparisons over the same batched float64 program:
+
+    * **Arena vs dict pool** — the liveness-planned arena must produce
+      bit-identical outputs to the per-kernel buffer pool while its
+      peak footprint (arena bytes vs the pool's cumulative high-water
+      mark) shrinks by the planner's measured reduction.  Both are
+      deterministic, so CI gates them exactly.
+    * **Cold-pool spin-up** — what a worker-process initializer costs
+      under each parameter transport: the full network pickled through
+      the pool (the pre-cache path) vs a parameter-stripped skeleton
+      plus a shared-memory descriptor the worker maps zero-copy.  Both
+      sides time the pickle round-trip a ``spawn`` pool performs plus
+      the initializer itself.
+    * **AOT cache load** — compiling the program fresh vs loading it
+      (packed parameters memmapped, arena plans pre-seeded) from the
+      on-disk :class:`~repro.backend.ProgramCache`.
+    """
+    import pickle
+    import tempfile
+
+    from ..backend import (
+        ProgramCache,
+        compile_kernel_program,
+        network_skeleton,
+        share_table,
+    )
+    from .scheduler import _init_forward_worker
+
+    net = build_network(network, scale=scale)
+    rng = np.random.default_rng(seed)
+    clouds = rng.normal(size=(batch, net.n_points, 3))
+
+    planned = compile_kernel_program(net, strategy, backend="float64",
+                                     batched=True)
+    unplanned = compile_kernel_program(net, strategy, backend="float64",
+                                       batched=True, plan_memory=False)
+    planned_out = planned.run(clouds)
+    exact = _outputs_equal(planned_out, unplanned.run(clouds))
+    plan = planned.plan_for(clouds)
+
+    planned_ms = unplanned_ms = float("inf")
+    for _ in range(max(1, repeats)):
+        planned_ms = min(planned_ms, _best_ms(lambda: planned.run(clouds), 1))
+        unplanned_ms = min(unplanned_ms,
+                           _best_ms(lambda: unplanned.run(clouds), 1))
+
+    # Cold-pool spin-up: payload construction (skeleton + packed table)
+    # is a one-time parent cost, so both transports time only what every
+    # pool start pays — pickling the initargs across, unpickling them in
+    # the worker, and running the initializer.
+    skeleton = network_skeleton(net)
+    shared = share_table(planned.table)
+    descriptor = shared.descriptor()
+
+    def spinup_ms(payload, shared_params):
+        initargs = (payload, strategy, "brute", None, "float64",
+                    shared_params)
+        return _best_ms(
+            lambda: _init_forward_worker(*pickle.loads(pickle.dumps(initargs))),
+            repeats,
+        )
+
+    try:
+        shared_spinup_ms = spinup_ms(skeleton, descriptor)
+        pickle_spinup_ms = spinup_ms(net, None)
+        payload_shared = len(pickle.dumps((skeleton, descriptor)))
+        payload_pickle = len(pickle.dumps(net))
+    finally:
+        shared.close(unlink=True)
+
+    # AOT cache: fresh compile vs load (memmapped params, seeded plans).
+    ngraph = net.network_graph(strategy)
+    compile_ms = _best_ms(
+        lambda: compile_kernel_program(net, strategy, backend="float64",
+                                       batched=True),
+        repeats,
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ProgramCache(tmp)
+        digest = cache.store(planned)
+        loaded = cache.load(digest, ngraph, net)
+        cache_exact = _outputs_equal(planned_out, loaded.run(clouds))
+        load_ms = _best_ms(
+            lambda: cache.load(digest, ngraph, net), repeats,
+        )
+
+    return {
+        "workload": {
+            "network": network,
+            "strategy": strategy,
+            "batch": batch,
+            "n_points": net.n_points,
+            "scale": scale,
+        },
+        "baseline": "per-kernel buffer pool + full-network pickle spin-up",
+        "bit_exact": bool(exact),
+        "cache_bit_exact": bool(cache_exact),
+        "buffers": len(plan.buffers),
+        "arena_bytes": plan.total_bytes,
+        "pool_bytes": plan.pool_bytes,
+        "peak_live_bytes": plan.peak_live_bytes,
+        "peak_reduction": plan.reduction,
+        "planned_ms": planned_ms,
+        "unplanned_ms": unplanned_ms,
+        "overhead_ratio": planned_ms / unplanned_ms,
+        "payload_shared_bytes": payload_shared,
+        "payload_pickle_bytes": payload_pickle,
+        "spinup_shared_ms": shared_spinup_ms,
+        "spinup_pickle_ms": pickle_spinup_ms,
+        "speedup_spinup": pickle_spinup_ms / shared_spinup_ms,
+        "compile_ms": compile_ms,
+        "cache_load_ms": load_ms,
+        "speedup_cache_load": compile_ms / load_ms,
+    }
+
+
 def bench_parallel(n_clouds=8, n_points=512, k=16, repeats=1, seed=0):
     """k-d tree NIT builds (unbatchable) serial vs multi-core processes."""
     rng = np.random.default_rng(seed)
@@ -709,6 +829,13 @@ def run_benchmarks(batch=16, n_points=1024, k=16, network="PointNet++ (c)",
             strategy=strategy,
             repeats=max(1, repeats - 1),
             fast=backend,
+        ),
+        "mem": bench_mem(
+            network=network,
+            batch=max(2, batch // 2),
+            scale=scale,
+            strategy=strategy,
+            repeats=max(1, repeats - 1),
         ),
         "parallel": bench_parallel(
             n_clouds=max(2, batch // 2), n_points=max(128, n_points // 2), k=k

@@ -20,6 +20,7 @@ The module-level ``*_task`` helpers are defined at import scope so the
 from __future__ import annotations
 
 import os
+import time
 import warnings
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 
@@ -156,6 +157,48 @@ class ParallelRunner:
             )
             return self._inline_future(fn, args)
 
+    def warm(self):
+        """Spin every worker up now; returns the spin-up seconds.
+
+        A lazily-created pool pays worker spawn *and* the initializer's
+        payload transfer (pickled network, shared-table attach) on the
+        first :meth:`map` — warming moves that cost to a moment of the
+        caller's choosing, and the returned wall-clock is what the
+        ``mem`` bench row compares across payload transports.  Requires
+        ``persistent=True``; the serial/single-worker degrade runs the
+        initializer in-process, so the timing still covers the payload.
+        """
+        if not self.persistent:
+            raise ValueError("warm() requires a persistent runner")
+        start = time.perf_counter()
+        if self.backend == "serial" or self.max_workers == 1:
+            if self.initializer is not None:
+                self.initializer(*self.initargs)
+            return time.perf_counter() - start
+        try:
+            if self._pool is None:
+                self._pool = self._make_pool()
+            # One barrier task per worker forces every process to spawn
+            # and run its initializer before warm() returns.
+            futures = [
+                self._pool.submit(_warm_task)
+                for _ in range(self.max_workers)
+            ]
+            for future in futures:
+                future.result()
+        except (OSError, PermissionError, RuntimeError) as exc:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+                self._pool = None
+            warnings.warn(
+                f"{self.backend} pool unavailable ({exc}); warming inline",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            if self.initializer is not None:
+                self.initializer(*self.initargs)
+        return time.perf_counter() - start
+
     def close(self):
         """Shut down a persistent pool (idempotent; the next :meth:`map`
         recreates it).  Blocks until already-submitted work — including
@@ -169,6 +212,11 @@ class ParallelRunner:
 
     def __exit__(self, *exc):
         self.close()
+
+
+def _warm_task():
+    """Trivial barrier task :meth:`ParallelRunner.warm` fans out."""
+    return os.getpid()
 
 
 def kdtree_nit_task(args):

@@ -107,10 +107,16 @@ class BatchRunner:
         (:class:`~repro.backend.NetworkKernelExecutor`) instead of the
         batched graph interpreter, and — unless ``dtype`` pins one —
         neighbor searches run in the backend's dtype too.
+    program_cache:
+        Optional :class:`~repro.backend.ProgramCache` (or a directory
+        path for one).  Kernel programs then load from the AOT cache —
+        zero-copy memmapped parameters, pre-measured arena plans — and
+        first-compiles persist for the next process.  Only meaningful
+        together with ``backend``.
     """
 
     def __init__(self, network, strategy="delayed", substrate="brute",
-                 cache=None, dtype=None, backend=None):
+                 cache=None, dtype=None, backend=None, program_cache=None):
         if strategy not in STRATEGIES:
             raise ValueError(f"unknown strategy {strategy!r}")
         self.network = network
@@ -123,11 +129,19 @@ class BatchRunner:
         # ``backend`` for its concurrency pool type, so generic code
         # should read the kernel choice from ``kernel_backend``.
         self.kernel_backend = backend
+        if program_cache is not None and not hasattr(program_cache,
+                                                     "program_for"):
+            from ..backend import ProgramCache
+
+            program_cache = ProgramCache(program_cache)
+        self.program_cache = program_cache
         self._kernel_executor = None
         if backend is not None:
             from ..backend import NetworkKernelExecutor
 
-            self._kernel_executor = NetworkKernelExecutor(backend)
+            self._kernel_executor = NetworkKernelExecutor(
+                backend, program_cache=program_cache
+            )
         self._plan = None
 
     @property

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 
@@ -228,23 +229,36 @@ _WORKER_STATE = {}
 
 
 def _init_forward_worker(network, strategy, substrate, dtype,
-                         kernel_backend=None):
+                         kernel_backend=None, shared_params=None):
     """Pool initializer: unpickle the network once per worker process.
 
     Runs in each worker when the persistent pool starts (and in-process
     when the pool degrades to a serial map), so per-task payloads are
     just the cloud arrays.  ``kernel_backend`` additionally compiles
     the worker's kernel program once, so every task runs autograd-free.
+
+    ``shared_params`` is an optional
+    :func:`~repro.backend.attach_table` descriptor.  When set, the
+    worker maps the parent's packed parameter table zero-copy (shared
+    memory or an on-disk program cache) instead of unpickling parameter
+    data — ``network`` is then a stripped
+    :func:`~repro.backend.network_skeleton`, kilobytes instead of the
+    megabytes of weights.
     """
-    _WORKER_STATE["network"] = network
-    _WORKER_STATE["strategy"] = strategy
-    _WORKER_STATE["substrate"] = substrate
-    _WORKER_STATE["dtype"] = dtype
     executor = None
     if kernel_backend is not None:
         from ..backend import NetworkKernelExecutor
 
-        executor = NetworkKernelExecutor(kernel_backend)
+        params = None
+        if shared_params is not None:
+            from ..backend import attach_table
+
+            params = attach_table(shared_params)
+        executor = NetworkKernelExecutor(kernel_backend, params=params)
+    _WORKER_STATE["network"] = network
+    _WORKER_STATE["strategy"] = strategy
+    _WORKER_STATE["substrate"] = substrate
+    _WORKER_STATE["dtype"] = dtype
     _WORKER_STATE["executor"] = executor
 
 
@@ -304,13 +318,23 @@ class AsyncRunner(BatchRunner):
         search kernels release the GIL) across the cloud pool.  The
         process backend ships the backend name into its workers, which
         compile once in their initializer.
+    program_cache:
+        Optional :class:`~repro.backend.ProgramCache` (or directory
+        path).  The parent compiles (or loads) the kernel program once;
+        process workers receive a :func:`~repro.backend.network_skeleton`
+        plus a cache descriptor and map the packed parameters from disk
+        instead of unpickling them.  Without a cache the process backend
+        still shares parameters zero-copy through
+        ``multiprocessing.shared_memory`` whenever a ``kernel_backend``
+        is set.
     """
 
     def __init__(self, network, strategy="delayed", substrate="brute",
                  cache=None, dtype=None, max_workers=None, in_flight=None,
-                 backend="thread", kernel_backend=None):
+                 backend="thread", kernel_backend=None, program_cache=None):
         super().__init__(network, strategy=strategy, substrate=substrate,
-                         cache=cache, dtype=dtype, backend=kernel_backend)
+                         cache=cache, dtype=dtype, backend=kernel_backend,
+                         program_cache=program_cache)
         if backend not in _BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; expected one of {_BACKENDS}"
@@ -330,6 +354,7 @@ class AsyncRunner(BatchRunner):
         self._search_pool = None
         self._cloud_pool = None
         self._process_runner = None
+        self._shared_table = None
 
     def run(self, clouds):
         """Overlapped inference over ``clouds`` (list or (B, N, 3) array)."""
@@ -395,6 +420,11 @@ class AsyncRunner(BatchRunner):
         if self._process_runner is not None:
             self._process_runner.close()
             self._process_runner = None
+        if self._shared_table is not None:
+            # Workers are gone (pool drained above): safe to unlink the
+            # shared-memory segment backing their parameter tables.
+            self._shared_table.close(unlink=True)
+            self._shared_table = None
 
     def __enter__(self):
         return self
@@ -415,14 +445,60 @@ class AsyncRunner(BatchRunner):
         with no_grad():
             return [self._forward_one(cloud, None) for cloud in batch]
 
+    def _worker_payload(self):
+        """(network, shared_params) for the process-pool initializer.
+
+        Without a kernel backend the full network pickles into each
+        worker, as before.  With one, parameters travel zero-copy: the
+        parent packs the table once and workers map it — through the
+        on-disk program cache when one is configured, through a
+        ``multiprocessing.shared_memory`` segment otherwise — while the
+        pickled payload shrinks to a parameter-stripped skeleton.
+        """
+        if self.kernel_backend is None:
+            return self.network, None
+        from ..backend import (
+            ParameterTable,
+            get_backend,
+            network_skeleton,
+            share_table,
+        )
+
+        try:
+            backend = get_backend(self.kernel_backend)
+            if self.program_cache is not None:
+                # Compiles (and stores) on the parent if not cached yet;
+                # workers then only open the memmap.
+                descriptor = self.program_cache.descriptor_for(
+                    self.network, self.strategy, backend
+                )
+            else:
+                if self._shared_table is None:
+                    ngraph = self.network.network_graph(self.strategy)
+                    table = ParameterTable.for_graph(
+                        ngraph, backend=backend
+                    )
+                    self._shared_table = share_table(table)
+                descriptor = self._shared_table.descriptor()
+            return network_skeleton(self.network), descriptor
+        except (OSError, ValueError, RuntimeError) as exc:
+            warnings.warn(
+                f"shared parameter table unavailable ({exc}); "
+                "pickling the full network into workers",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return self.network, None
+
     def _run_processes(self, batch):
         # Persistent pool: the network is pickled exactly once, into
         # each worker's initializer; per-batch payloads are the clouds.
         if self._process_runner is None:
+            network, shared_params = self._worker_payload()
             self._process_runner = ParallelRunner(
                 max_workers=self.max_workers, backend="process",
                 persistent=True, initializer=_init_forward_worker,
-                initargs=(self.network, self.strategy, self.substrate,
-                          self.dtype, self.kernel_backend),
+                initargs=(network, self.strategy, self.substrate,
+                          self.dtype, self.kernel_backend, shared_params),
             )
         return self._process_runner.map(network_forward_task, list(batch))

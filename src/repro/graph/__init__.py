@@ -36,7 +36,13 @@ from .passes import (
     module_graph,
     run_pipeline,
 )
-from .plan import ModulePlan, NetworkPlan, compile_network_plan
+from .plan import (
+    ModulePlan,
+    NetworkPlan,
+    ValueLiveness,
+    compile_network_plan,
+    value_liveness,
+)
 from .schedule import GraphSchedule, ScheduledNode, node_lane, schedule_graph
 
 __all__ = [
@@ -59,6 +65,7 @@ __all__ = [
     "NetworkPlan",
     "NetworkRegion",
     "OpRecorder",
+    "ValueLiveness",
     "build_module_graph",
     "build_network_graph",
     "compile_network_plan",
@@ -77,4 +84,5 @@ __all__ = [
     "schedule_graph",
     "search_signature",
     "shape_env",
+    "value_liveness",
 ]

@@ -13,8 +13,76 @@ from dataclasses import dataclass
 
 from .ir import format_graph, shape_env
 from .passes import module_graph
+from .schedule import node_lane
 
-__all__ = ["ModulePlan", "NetworkPlan", "compile_network_plan"]
+__all__ = [
+    "ModulePlan",
+    "NetworkPlan",
+    "ValueLiveness",
+    "compile_network_plan",
+    "value_liveness",
+]
+
+
+@dataclass(frozen=True)
+class ValueLiveness:
+    """Liveness of one graph value over the topological node order.
+
+    Positions index ``graph.nodes`` — the list order *is* the schedule,
+    so ``def_index`` is where the value is produced and
+    ``last_use_index`` the last position that reads it
+    (``len(graph.nodes)`` for graph outputs, which outlive every node).
+    ``n_lane_consumers`` names the neighbor-lane readers
+    (:func:`~repro.graph.schedule.node_lane`); a memory planner must
+    not recycle the value's storage into a buffer that can be written
+    while one of those searches is still in flight on the other lane.
+    """
+
+    node: int
+    kind: str
+    lane: str
+    def_index: int
+    last_use_index: int
+    consumers: tuple
+    n_lane_consumers: tuple
+
+
+def value_liveness(graph):
+    """Per-value liveness over ``graph``'s topological schedule.
+
+    Returns ``{node_id: ValueLiveness}``.  This is pure graph metadata
+    — the kernel runtime's arena planner
+    (:mod:`repro.backend.memplan`) maps these node positions onto its
+    fused-kernel positions, and sharding/placement can read working-set
+    extents straight off the plan.
+    """
+    positions = {node.id: index for index, node in enumerate(graph.nodes)}
+    consumers = {node.id: [] for node in graph.nodes}
+    for node in graph.nodes:
+        for parent in set(node.inputs):
+            consumers[parent].append(node)
+    outputs = set(graph.outputs)
+    values = {}
+    for node in graph.nodes:
+        used_by = consumers[node.id]
+        if node.id in outputs:
+            last = len(graph.nodes)
+        elif used_by:
+            last = max(positions[c.id] for c in used_by)
+        else:
+            last = positions[node.id]
+        values[node.id] = ValueLiveness(
+            node=node.id,
+            kind=node.kind,
+            lane=node_lane(node),
+            def_index=positions[node.id],
+            last_use_index=last,
+            consumers=tuple(c.id for c in used_by),
+            n_lane_consumers=tuple(
+                c.id for c in used_by if node_lane(c) == "N"
+            ),
+        )
+    return values
 
 
 @dataclass(frozen=True)
@@ -60,6 +128,20 @@ class NetworkPlan:
     def node_count(self):
         """Total operator nodes across every module of the plan."""
         return sum(entry.node_count for entry in self.entries)
+
+    def liveness(self):
+        """Value liveness over the whole-network graph's schedule.
+
+        Requires the plan to have been compiled from a live network
+        (``graph`` present); the memory planner and placement logic
+        consume this instead of re-deriving consumer sets.
+        """
+        if self.graph is None:
+            raise ValueError(
+                "plan has no whole-network graph; compile it from a "
+                "live network to get liveness metadata"
+            )
+        return value_liveness(self.graph.graph)
 
     def describe(self):
         """Human-readable dump used by ``repro trace --graph``.

@@ -142,6 +142,49 @@ class Server:
         )
         self._thread.start()
 
+    @classmethod
+    def hosting(cls, networks, strategy="delayed", scale=0.125,
+                runner="batch", backend=None, program_cache=None,
+                policy=None, workers=1):
+        """Build a server hosting ``networks`` (names or instances).
+
+        The convenience constructor the CLI uses: each network gets its
+        own runner (``runner="batch"`` →
+        :class:`~repro.engine.runner.BatchRunner`, ``"async"`` →
+        :class:`~repro.engine.scheduler.AsyncRunner`), with ``backend``
+        selecting a kernel backend and ``program_cache`` (a
+        :class:`~repro.backend.ProgramCache` or directory path) letting
+        those runners load AOT-compiled programs — memmapped packed
+        parameters, pre-measured arena plans — instead of compiling on
+        first request.  One cache serves every hosted network; programs
+        are content-addressed, so restarts with unchanged weights hit.
+        """
+        from ..engine.runner import BatchRunner
+        from ..engine.scheduler import AsyncRunner
+        from ..networks import build_network
+
+        if isinstance(networks, str):
+            networks = [networks]
+        runners = []
+        for network in networks:
+            net = build_network(network, scale=scale) \
+                if isinstance(network, str) else network
+            if runner == "async":
+                runners.append(AsyncRunner(
+                    net, strategy=strategy, kernel_backend=backend,
+                    program_cache=program_cache,
+                ))
+            elif runner == "batch":
+                runners.append(BatchRunner(
+                    net, strategy=strategy, backend=backend,
+                    program_cache=program_cache,
+                ))
+            else:
+                raise ValueError(
+                    f"unknown runner {runner!r}; expected 'batch' or 'async'"
+                )
+        return cls(runners, policy=policy, workers=workers)
+
     # -- admission -----------------------------------------------------------
 
     @property

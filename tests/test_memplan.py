@@ -1,0 +1,552 @@
+"""Tests for the memory planner + AOT program cache (:mod:`repro.backend`).
+
+Covers buffer liveness over the whole-network graph, arena planning
+(best-fit offsets, N/F-lane guards, validation), planner-on
+bit-exactness across all seven networks and three strategies for
+serial, batched and async execution, an adversarial test that corrupts
+dead arena regions mid-run, parameter-table dedup and zero-copy
+transports (shared memory + on-disk program cache), skeleton pickling,
+and the engine/CLI integration (``program_cache=``, ``repro compile``,
+``repro trace --memory``, the bench ``mem`` row).
+"""
+
+import json
+import pickle
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    NetworkKernelExecutor,
+    ParameterTable,
+    ProgramCache,
+    attach_table,
+    compile_kernel_program,
+    get_backend,
+    network_fingerprint,
+    network_skeleton,
+    plan_arena,
+    share_table,
+    validate_plan,
+)
+from repro.engine import AsyncRunner, BatchRunner, ParallelRunner
+from repro.graph import value_liveness
+from repro.networks import ALL_NETWORKS, build_network
+from repro.neural import no_grad
+
+STRATEGIES = ("original", "delayed", "limited")
+
+
+def toy(name, seed=0):
+    scale = 0.03125 if "(s)" in name else 0.0625
+    return build_network(name, num_classes=4, scale=scale,
+                         rng=np.random.default_rng(seed))
+
+
+def cloud_for(net, seed=0):
+    return np.random.default_rng(seed).normal(size=(net.n_points, 3))
+
+
+def clouds_for(net, batch, seed=0):
+    return np.random.default_rng(seed).normal(size=(batch, net.n_points, 3))
+
+
+def leaves(ref, out):
+    if isinstance(ref, dict):
+        assert set(ref) == set(out)
+        for key in ref:
+            yield from leaves(ref[key], out[key])
+    elif isinstance(ref, (list, tuple)):
+        assert len(ref) == len(out)
+        for a, b in zip(ref, out):
+            yield from leaves(a, b)
+    else:
+        yield (
+            np.asarray(ref.data if hasattr(ref, "data") else ref),
+            np.asarray(out.data if hasattr(out, "data") else out),
+        )
+
+
+def assert_bit_exact(ref, out):
+    for a, b in leaves(ref, out):
+        assert np.array_equal(a, b)
+
+
+class TestValueLiveness:
+    def test_intervals_cover_consumers_and_outputs_live_to_end(self):
+        net = toy("PointNet++ (c)")
+        ngraph = net.network_graph("delayed")
+        live = value_liveness(ngraph.graph)
+        n = len(ngraph.graph.nodes)
+        assert set(live) == {node.id for node in ngraph.graph.nodes}
+        positions = {node.id: i for i, node in enumerate(ngraph.graph.nodes)}
+        for info in live.values():
+            assert 0 <= info.def_index < n
+            assert info.last_use_index >= info.def_index
+            for consumer in info.consumers:
+                assert positions[consumer] <= info.last_use_index
+        for output in ngraph.outputs:
+            assert live[output.node].last_use_index == n
+
+    def test_network_plan_exposes_liveness(self):
+        from repro.graph import compile_network_plan
+
+        net = toy("PointNet++ (s)")
+        plan = compile_network_plan(net, "delayed")
+        live = plan.liveness()
+        assert live  # non-empty map over the whole-network graph
+
+
+class TestArenaPlanning:
+    def test_plan_validates_and_packs_below_pool(self):
+        net = toy("PointNet++ (c)")
+        program = compile_kernel_program(net, "delayed", backend="float64")
+        plan = program.plan_for(cloud_for(net))
+        validate_plan(plan)  # alignment, bounds, no live overlap
+        assert plan.total_bytes < plan.pool_bytes
+        assert plan.peak_live_bytes <= plan.total_bytes
+        for b in plan.buffers:
+            assert b.offset % 64 == 0
+            assert b.offset + b.nbytes <= plan.total_bytes
+
+    def test_live_buffers_never_alias(self):
+        net = toy("DGCNN (c)")
+        program = compile_kernel_program(net, "delayed", backend="float64")
+        plan = program.plan_for(cloud_for(net))
+        for i, a in enumerate(plan.buffers):
+            for b in plan.buffers[i + 1:]:
+                overlap_bytes = not (a.end <= b.offset or b.end <= a.offset)
+                overlap_live = (a.def_pos <= b.last_pos
+                                and b.def_pos <= a.last_pos)
+                if overlap_live and not (a.guards or b.guards):
+                    assert not overlap_bytes, (a, b)
+
+    def test_feature_space_network_carries_lane_guards(self):
+        # DGCNN searches in feature space, so aggregation outputs feed
+        # the next module's N-lane search: their records must carry
+        # guards that keep overlap execution from racing a reuse.
+        net = toy("DGCNN (c)")
+        program = compile_kernel_program(net, "delayed", backend="float64")
+        plan = program.plan_for(cloud_for(net))
+        assert any(b.guards for b in plan.buffers)
+
+    def test_reduction_at_least_30pct_everywhere(self):
+        for name in ALL_NETWORKS:
+            net = toy(name)
+            for strategy in STRATEGIES:
+                program = compile_kernel_program(net, strategy,
+                                                 backend="float64")
+                plan = program.plan_for(cloud_for(net))
+                assert plan.reduction >= 0.30, (name, strategy,
+                                                plan.reduction)
+
+    def test_empty_records_make_an_empty_arena(self):
+        net = toy("PointNet++ (s)")
+        program = compile_kernel_program(net, "delayed", backend="float64")
+        program.plan_for(cloud_for(net))  # builds the liveness index
+        plan = plan_arena([], program._liveness)
+        assert plan.total_bytes == 0 and not plan.buffers
+
+
+class TestPlannerBitExact:
+    @pytest.mark.parametrize("name", ALL_NETWORKS)
+    def test_serial_all_strategies(self, name):
+        net = toy(name)
+        cloud = cloud_for(net)
+        for strategy in STRATEGIES:
+            planned = compile_kernel_program(net, strategy,
+                                             backend="float64")
+            unplanned = compile_kernel_program(net, strategy,
+                                               backend="float64",
+                                               plan_memory=False)
+            reference = unplanned.run(cloud)
+            # First run measures, second executes out of the arena —
+            # both must match the unplanned pool bit-for-bit.
+            assert_bit_exact(reference, planned.run(cloud))
+            assert_bit_exact(reference, planned.run(cloud))
+
+    @pytest.mark.parametrize("name", ALL_NETWORKS)
+    def test_batched_delayed(self, name):
+        net = toy(name)
+        clouds = clouds_for(net, 3)
+        planned = compile_kernel_program(net, "delayed", backend="float64",
+                                         batched=True)
+        unplanned = compile_kernel_program(net, "delayed", backend="float64",
+                                           batched=True, plan_memory=False)
+        reference = unplanned.run(clouds)
+        assert_bit_exact(reference, planned.run(clouds))
+        assert_bit_exact(reference, planned.run(clouds))
+
+    def test_async_overlap_with_planner(self):
+        net = toy("PointNet++ (c)")
+        clouds = clouds_for(net, 4)
+        executor = NetworkKernelExecutor("float64")
+        with no_grad():
+            reference = [np.asarray(
+                net.forward(c, strategy="delayed", executor=executor).data
+            ) for c in clouds]
+        with AsyncRunner(net, strategy="delayed", kernel_backend="float64",
+                         max_workers=2, in_flight=2) as runner:
+            out = runner.run(clouds).per_cloud()
+        for a, b in zip(reference, out):
+            assert np.array_equal(np.squeeze(a), np.squeeze(b))
+
+    def test_float32_stays_close_with_planner(self):
+        net = toy("PointNet++ (c)")
+        cloud = cloud_for(net)
+        planned = compile_kernel_program(net, "delayed", backend="float32")
+        unplanned = compile_kernel_program(net, "delayed", backend="float32",
+                                           plan_memory=False)
+        assert_bit_exact(unplanned.run(cloud), planned.run(cloud))
+
+    def test_shape_change_replans(self):
+        net = toy("PointNet++ (c)")
+        program = compile_kernel_program(net, "delayed", backend="float64",
+                                         batched=True)
+        a = program.plan_for(clouds_for(net, 2))
+        b = program.plan_for(clouds_for(net, 4))
+        assert a is not b
+        assert program.memory_stats()["signatures"] == 2
+
+
+class TestAdversarialAliasing:
+    def test_poisoning_dead_regions_mid_run_is_bit_invisible(self):
+        # Every kernel fully overwrites its output buffer, so scribbling
+        # over every byte the plan says is dead — after each kernel —
+        # must not change a single output bit.  If liveness were wrong
+        # anywhere, a consumer would read 0xAA garbage and this fails.
+        net = toy("DGCNN (c)")
+        cloud = cloud_for(net)
+        program = compile_kernel_program(net, "delayed", backend="float64")
+        reference = program.run(cloud)
+        plan = program.plan_for(cloud)
+
+        poisoned = {"ranges": 0}
+
+        def poison(pos, label, env, ctx):
+            arena = ctx["alloc"].arena
+            for start, end in plan.dead_ranges_at(pos):
+                arena[start:end] = 0xAA
+                poisoned["ranges"] += 1
+
+        assert_bit_exact(reference, program.run(cloud, on_kernel=poison))
+        assert poisoned["ranges"] > 0
+
+    def test_poisoning_a_live_region_is_detected(self):
+        # The counterpart proving the poison harness has teeth: clobber
+        # a *live* buffer once and the outputs must change.
+        net = toy("PointNet++ (c)")
+        cloud = cloud_for(net)
+        program = compile_kernel_program(net, "delayed", backend="float64")
+        reference = program.run(cloud)
+        plan = program.plan_for(cloud)
+        victim = max(plan.buffers, key=lambda b: b.last_pos - b.def_pos)
+        if victim.last_pos >= len(program.kernel_labels):
+            victim = max((b for b in plan.buffers
+                          if b.last_pos < len(program.kernel_labels)),
+                         key=lambda b: b.last_pos - b.def_pos)
+
+        def clobber(pos, label, env, ctx):
+            if pos == victim.def_pos:
+                ctx["alloc"].arena[victim.offset:victim.end] = 0xAA
+
+        corrupted = program.run(cloud, on_kernel=clobber)
+        assert any(
+            not np.array_equal(a, b)
+            for a, b in leaves(reference, corrupted)
+        )
+
+
+class TestParameterTableDedup:
+    def test_arities_and_fresh_backends_share_one_table(self):
+        net = toy("PointNet++ (c)")
+        ngraph = net.network_graph("delayed")
+        single = compile_kernel_program(net, "delayed", backend="float64")
+        batched = compile_kernel_program(net, "delayed", backend="float64",
+                                         batched=True)
+        assert single.table is batched.table
+        fresh = ParameterTable.for_graph(ngraph, backend=get_backend("float64"))
+        assert fresh is single.table
+        assert single.table.content_hash == fresh.content_hash
+
+    def test_different_dtypes_do_not_share(self):
+        net = toy("PointNet++ (c)")
+        ngraph = net.network_graph("delayed")
+        t64 = ParameterTable.for_graph(ngraph, backend=get_backend("float64"))
+        t32 = ParameterTable.for_graph(ngraph, backend=get_backend("float32"))
+        assert t64 is not t32
+        assert t64.content_hash != t32.content_hash
+
+    def test_pack_roundtrip_preserves_hash_and_bits(self):
+        net = toy("PointNet++ (s)")
+        ngraph = net.network_graph("delayed")
+        table = ParameterTable.for_graph(ngraph,
+                                         backend=get_backend("float64"))
+        manifest, blob = table.pack()
+        assert manifest["total_bytes"] == len(blob)
+        restored = ParameterTable.from_buffer(manifest, blob, dedupe=False)
+        assert restored.content_hash == table.content_hash
+        assert restored.verify_buffer()
+        program = compile_kernel_program(net, "delayed", backend="float64",
+                                         params=restored)
+        reference = compile_kernel_program(net, "delayed", backend="float64")
+        cloud = cloud_for(net)
+        assert_bit_exact(reference.run(cloud), program.run(cloud))
+
+    def test_dtype_mismatch_rejected(self):
+        net = toy("PointNet++ (s)")
+        ngraph = net.network_graph("delayed")
+        t32 = ParameterTable.for_graph(ngraph, backend=get_backend("float32"))
+        with pytest.raises(ValueError, match="dtype"):
+            compile_kernel_program(net, "delayed", backend="float64",
+                                   params=t32)
+
+
+class TestSkeleton:
+    def test_skeleton_pickles_small_and_keeps_fingerprint(self):
+        net = toy("PointNet++ (c)")
+        fingerprint = network_fingerprint(net)
+        skeleton = network_skeleton(net)
+        assert len(pickle.dumps(skeleton)) < 64 * 1024
+        assert len(pickle.dumps(net)) > 1024 * 1024
+        assert network_fingerprint(skeleton) == fingerprint
+        roundtrip = pickle.loads(pickle.dumps(skeleton))
+        assert network_fingerprint(roundtrip) == fingerprint
+
+    def test_stripped_network_refuses_to_export(self):
+        net = toy("PointNet++ (s)")
+        skeleton = network_skeleton(net)
+        with pytest.raises(RuntimeError, match="stripped"):
+            compile_kernel_program(skeleton, "delayed", backend="float64")
+
+    def test_fingerprint_tracks_weights(self):
+        a = toy("PointNet++ (s)", seed=0)
+        b = toy("PointNet++ (s)", seed=1)
+        assert network_fingerprint(a) != network_fingerprint(b)
+        assert network_fingerprint(a) == network_fingerprint(
+            toy("PointNet++ (s)", seed=0)
+        )
+
+
+class TestSharedMemoryTransport:
+    def test_shared_table_roundtrips_bit_exact(self):
+        net = toy("PointNet++ (s)")
+        ngraph = net.network_graph("delayed")
+        table = ParameterTable.for_graph(ngraph,
+                                         backend=get_backend("float64"))
+        shared = share_table(table)
+        try:
+            attached = attach_table(shared.descriptor())
+            assert attached.content_hash == table.content_hash
+            skeleton = network_skeleton(net)
+            program = compile_kernel_program(
+                skeleton, "delayed", backend="float64", params=attached
+            )
+            cloud = cloud_for(net)
+            reference = compile_kernel_program(net, "delayed",
+                                               backend="float64")
+            assert_bit_exact(reference.run(cloud), program.run(cloud))
+        finally:
+            shared.close(unlink=True)
+
+
+class TestProgramCache:
+    def test_store_load_bit_exact_with_seeded_plans(self, tmp_path):
+        net = toy("PointNet++ (c)")
+        cloud = cloud_for(net)
+        program = compile_kernel_program(net, "delayed", backend="float64")
+        reference = program.run(cloud)
+        program.plan_for(cloud)
+        cache = ProgramCache(tmp_path)
+        digest = cache.store(program)
+        loaded = cache.load(digest, net.network_graph("delayed"), net)
+        stats = loaded.memory_stats()
+        assert stats["planned"] and stats["signatures"] >= 1
+        assert_bit_exact(reference, loaded.run(cloud))
+
+    def test_program_for_compiles_once_then_hits(self, tmp_path):
+        net = toy("PointNet++ (s)")
+        ngraph = net.network_graph("delayed")
+        cache = ProgramCache(tmp_path)
+        backend = get_backend("float64")
+        first = cache.program_for(ngraph, net, backend, False)
+        index = json.loads((tmp_path / "index.json").read_text())
+        assert len(index) == 1
+        second = cache.program_for(ngraph, net, backend, False)
+        assert json.loads((tmp_path / "index.json").read_text()) == index
+        cloud = cloud_for(net)
+        assert_bit_exact(first.run(cloud), second.run(cloud))
+
+    def test_weight_change_misses(self, tmp_path):
+        cache = ProgramCache(tmp_path)
+        backend = get_backend("float64")
+        a = toy("PointNet++ (s)", seed=0)
+        b = toy("PointNet++ (s)", seed=1)
+        cache.program_for(a.network_graph("delayed"), a, backend, False)
+        cache.program_for(b.network_graph("delayed"), b, backend, False)
+        index = json.loads((tmp_path / "index.json").read_text())
+        assert len(index) == 2  # distinct fingerprints, distinct digests
+
+    def test_descriptor_attaches_memmapped_table(self, tmp_path):
+        net = toy("PointNet++ (s)")
+        cache = ProgramCache(tmp_path)
+        descriptor = cache.descriptor_for(net, "delayed",
+                                          get_backend("float64"))
+        assert descriptor["kind"] == "file"
+        attached = attach_table(descriptor)
+        program = compile_kernel_program(
+            network_skeleton(net), "delayed", backend="float64",
+            params=attached,
+        )
+        cloud = cloud_for(net)
+        reference = compile_kernel_program(net, "delayed", backend="float64")
+        assert_bit_exact(reference.run(cloud), program.run(cloud))
+
+    def test_stale_kernels_rejected(self, tmp_path):
+        net = toy("PointNet++ (s)")
+        program = compile_kernel_program(net, "delayed", backend="float64")
+        cache = ProgramCache(tmp_path)
+        digest = cache.store(program)
+        path = tmp_path / f"{digest}.json"
+        manifest = json.loads(path.read_text())
+        manifest["kernels"] = list(manifest["kernels"])[:-1]
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="kernel"):
+            cache.load(digest, net.network_graph("delayed"), net)
+
+
+class TestEngineIntegration:
+    def test_batch_runner_program_cache_bit_exact(self, tmp_path):
+        net = toy("PointNet++ (c)")
+        clouds = clouds_for(net, 3)
+        plain = BatchRunner(net, strategy="delayed", backend="float64")
+        cached = BatchRunner(net, strategy="delayed", backend="float64",
+                             program_cache=str(tmp_path))
+        assert_bit_exact(plain.run(clouds).outputs, cached.run(clouds).outputs)
+        assert (tmp_path / "index.json").exists()
+        # A fresh runner over the same cache serves the stored program.
+        rehosted = BatchRunner(net, strategy="delayed", backend="float64",
+                               program_cache=ProgramCache(tmp_path))
+        assert_bit_exact(plain.run(clouds).outputs,
+                         rehosted.run(clouds).outputs)
+
+    def test_process_worker_payload_is_shared_not_pickled(self):
+        net = toy("PointNet++ (c)")
+        runner = AsyncRunner(net, strategy="delayed", backend="process",
+                             kernel_backend="float64")
+        try:
+            payload, descriptor = runner._worker_payload()
+            assert descriptor["kind"] == "shm"
+            assert len(pickle.dumps(payload)) < 64 * 1024
+        finally:
+            runner.close()
+        assert runner._shared_table is None  # close() unlinked it
+
+    def test_async_process_shm_transport_bit_exact(self):
+        net = toy("PointNet++ (s)")
+        clouds = clouds_for(net, 3)
+        executor = NetworkKernelExecutor("float64")
+        with no_grad():
+            reference = [np.asarray(
+                net.forward(c, strategy="delayed", executor=executor).data
+            ) for c in clouds]
+        with warnings.catch_warnings():
+            # 1-core / sandboxed runners degrade the pool to a serial
+            # map; the zero-copy attach path still runs either way.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with AsyncRunner(net, strategy="delayed", backend="process",
+                             kernel_backend="float64") as runner:
+                out = runner.run(clouds).per_cloud()
+        for a, b in zip(reference, out):
+            assert np.array_equal(np.squeeze(a), np.squeeze(b))
+
+    def test_async_process_program_cache_transport_bit_exact(self, tmp_path):
+        net = toy("PointNet++ (s)")
+        clouds = clouds_for(net, 2)
+        executor = NetworkKernelExecutor("float64")
+        with no_grad():
+            reference = [np.asarray(
+                net.forward(c, strategy="delayed", executor=executor).data
+            ) for c in clouds]
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with AsyncRunner(net, strategy="delayed", backend="process",
+                             kernel_backend="float64",
+                             program_cache=str(tmp_path)) as runner:
+                out = runner.run(clouds).per_cloud()
+        for a, b in zip(reference, out):
+            assert np.array_equal(np.squeeze(a), np.squeeze(b))
+        assert (tmp_path / "index.json").exists()
+
+    def test_parallel_runner_warm(self):
+        calls = []
+        runner = ParallelRunner(max_workers=1, backend="serial",
+                                persistent=True,
+                                initializer=calls.append, initargs=(1,))
+        seconds = runner.warm()
+        assert seconds >= 0.0 and calls == [1]
+        runner.close()
+        with pytest.raises(ValueError, match="persistent"):
+            ParallelRunner(max_workers=1, backend="serial").warm()
+
+    def test_server_hosting_with_program_cache(self, tmp_path):
+        from repro.serve import Server
+
+        net = toy("PointNet++ (c)")
+        cloud = cloud_for(net)
+        reference = BatchRunner(net, strategy="delayed",
+                                backend="float64").run(cloud).per_cloud()[0]
+        with Server.hosting([net], backend="float64",
+                            program_cache=str(tmp_path)) as server:
+            response = server.request(cloud, timeout=60)
+        assert np.array_equal(reference, response.output)
+
+
+class TestMemoryReporting:
+    def test_memory_report_phases(self):
+        net = toy("PointNet++ (c)")
+        program = compile_kernel_program(net, "delayed", backend="float64")
+        report = program.memory_report(cloud_for(net))
+        assert report["arena_bytes"] < report["pool_bytes"]
+        for row in report["phases"].values():
+            assert row["after"] <= row["before"]
+
+    def test_memory_stats_unplanned(self):
+        net = toy("PointNet++ (s)")
+        program = compile_kernel_program(net, "delayed", backend="float64",
+                                         plan_memory=False)
+        program.run(cloud_for(net))
+        stats = program.memory_stats()
+        assert stats["planned"] is False and stats["pool_bytes"] > 0
+
+
+class TestCLI:
+    def test_trace_memory(self, capsys):
+        from repro.cli import main
+
+        assert main(["trace", "PointNet++ (s)", "--memory"]) == 0
+        out = capsys.readouterr().out
+        assert "arena" in out and "reduction" in out
+
+    def test_compile_then_serve_from_cache(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_dir = str(tmp_path / "programs")
+        assert main(["compile", "PointNet++ (s)", "--scale", "0.03125",
+                     "--batch", "2", "--cache", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "programs cached" in out
+        index = json.loads(
+            (tmp_path / "programs" / "index.json").read_text()
+        )
+        assert len(index) == 2  # single + batched arities
+
+    def test_bench_mem_row(self):
+        from repro.engine.bench import bench_mem
+
+        row = bench_mem(batch=2, scale=0.0625, repeats=1)
+        assert row["bit_exact"] and row["cache_bit_exact"]
+        assert row["peak_reduction"] >= 0.30
+        assert row["payload_shared_bytes"] < row["payload_pickle_bytes"]
+        assert row["spinup_shared_ms"] > 0 and row["spinup_pickle_ms"] > 0
