@@ -11,11 +11,15 @@ runtime layer underneath: an :class:`ArrayBackend` protocol
 :class:`~repro.graph.network.NetworkGraph` to a flat list of
 autograd-free ndarray kernels.
 
-Two backends ship: ``float64`` (bit-exact against the graph executors)
-and ``float32`` (the BLAS fast path).  The engine selects them through
-``backend=`` on :class:`~repro.engine.BatchRunner` /
-:class:`~repro.engine.AsyncRunner` (``kernel_backend=`` there), and
-``repro bench`` tracks both in its ``backend`` row.
+Three backends ship: ``float64`` (bit-exact against the graph
+executors), ``float32`` (the BLAS fast path), and ``int8``
+(:mod:`repro.backend.quant` — per-channel symmetric weight scales,
+per-tensor activation scales calibrated against the float64 reference,
+int8 GEMMs with int32 accumulation inside a float32 envelope).  The
+engine selects them through ``backend=`` on
+:class:`~repro.engine.BatchRunner` / :class:`~repro.engine.AsyncRunner`
+(``kernel_backend=`` there), and ``repro bench`` tracks them in its
+``backend`` and ``quant`` rows.
 """
 
 from .aot import (
@@ -26,7 +30,12 @@ from .aot import (
     network_skeleton,
     share_table,
 )
-from .array import ArrayBackend, NumpyBackend, get_backend
+from .array import (
+    ArrayBackend,
+    NumpyBackend,
+    get_backend,
+    registered_backends,
+)
 from .memplan import ArenaPlan, GraphLiveness, plan_arena, validate_plan
 from .params import (
     ParameterTable,
@@ -34,19 +43,29 @@ from .params import (
     export_stack,
     segment_layers,
 )
+from .quant import (
+    CalibrationRecorder,
+    Int8Backend,
+    ScaleTable,
+    calibrate_scales,
+)
 from .runtime import KernelProgram, NetworkKernelExecutor, compile_kernel_program
 
 __all__ = [
     "ArenaPlan",
     "ArrayBackend",
+    "CalibrationRecorder",
     "GraphLiveness",
+    "Int8Backend",
     "KernelProgram",
     "NetworkKernelExecutor",
     "NumpyBackend",
     "ParameterTable",
     "ProgramCache",
+    "ScaleTable",
     "SharedTable",
     "attach_table",
+    "calibrate_scales",
     "compile_kernel_program",
     "export_segment",
     "export_stack",
@@ -54,6 +73,7 @@ __all__ = [
     "network_fingerprint",
     "network_skeleton",
     "plan_arena",
+    "registered_backends",
     "segment_layers",
     "share_table",
     "validate_plan",

@@ -25,9 +25,12 @@ be passed wherever a backend name is accepted.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
-__all__ = ["ArrayBackend", "NumpyBackend", "get_backend"]
+__all__ = ["ArrayBackend", "NumpyBackend", "get_backend",
+           "registered_backends"]
 
 
 class ArrayBackend:
@@ -80,6 +83,19 @@ class ArrayBackend:
         """Elementwise (broadcasting) subtract."""
         return np.subtract(a, b, out=out)
 
+    def qmatmul(self, x, qweight, w_scale, a_scale, out=None):
+        """Quantized GEMM — only quantized backends implement this.
+
+        Float backends refuse loudly: a ``("qlinear", ...)`` segment in
+        the parameter table means the table was exported for the int8
+        backend and must not silently run through a float GEMM.
+        """
+        raise ValueError(
+            f"backend {self.name!r} cannot execute quantized (qlinear) "
+            "segments; run them on the int8 backend, or re-export the "
+            "parameter table for this backend"
+        )
+
     def __repr__(self):
         return f"{type(self).__name__}({self.name!r})"
 
@@ -108,27 +124,67 @@ class NumpyBackend(ArrayBackend):
         self.search_dtype = None if dtype == np.float64 else dtype
 
 
+def _make_int8():
+    from .quant import Int8Backend
+
+    return Int8Backend()
+
+
 #: Built-in backends by name.
 _REGISTRY = {
     "float64": NumpyBackend(np.float64),
     "float32": NumpyBackend(np.float32),
 }
 
+#: Lazily-constructed backends: the factory runs on first resolution
+#: and the instance lands in ``_REGISTRY``, so ``get_backend("int8")``
+#: is a singleton — its memoized calibration tables are shared by every
+#: program in the process.
+_LAZY = {"int8": _make_int8}
+
+_registry_lock = threading.Lock()
+
+
+def registered_backends():
+    """Every resolvable backend name, built and lazy alike."""
+    return sorted(set(_REGISTRY) | set(_LAZY))
+
+
+def _resolve_name(name):
+    backend = _REGISTRY.get(name)
+    if backend is not None:
+        return backend
+    factory = _LAZY.get(name)
+    if factory is None:
+        return None
+    with _registry_lock:
+        return _REGISTRY.setdefault(name, factory())
+
 
 def get_backend(backend):
     """Resolve a backend name / dtype / instance to an :class:`ArrayBackend`.
 
     Accepts an :class:`ArrayBackend` (returned as-is), a registered name
-    (``"float64"``, ``"float32"``), or anything ``np.dtype`` accepts.
+    (``"float64"``, ``"float32"``, ``"int8"``), or anything ``np.dtype``
+    accepts — ``np.int8`` routes to the quantized backend.
     """
     if isinstance(backend, ArrayBackend):
         return backend
-    if isinstance(backend, str) and backend in _REGISTRY:
-        return _REGISTRY[backend]
+    if isinstance(backend, str):
+        resolved = _resolve_name(backend)
+        if resolved is not None:
+            return resolved
     try:
-        return _REGISTRY[np.dtype(backend).name]
-    except (TypeError, KeyError) as exc:
+        name = np.dtype(backend).name
+    except TypeError as exc:
         raise ValueError(
             f"unknown backend {backend!r}; expected an ArrayBackend, "
-            f"one of {sorted(_REGISTRY)}, or a float dtype"
+            f"one of {registered_backends()}, or a dtype"
         ) from exc
+    resolved = _resolve_name(name)
+    if resolved is None:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected an ArrayBackend, "
+            f"one of {registered_backends()}, or a dtype"
+        )
+    return resolved

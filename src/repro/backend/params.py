@@ -115,32 +115,50 @@ def _tail_ops(layers, backend):
     return ops
 
 
-def export_segment(layers, backend, weight_only=False, epilogue=False):
+def export_segment(layers, backend, weight_only=False, epilogue=False,
+                   site=None, packer=None):
     """Pack one per-Linear segment into an ops tuple.
 
     ``weight_only`` exports just the GEMM (the limited variant's
     hoisted product); ``epilogue`` exports the complementary bias +
     activation tail the epilogue node replays after aggregation.
+    ``packer`` (a backend's ``segment_packer`` closure) replaces the
+    plain ``("linear", W, b)`` head with a backend-specific op —
+    quantized backends emit ``("qlinear", ...)`` here — and receives
+    ``site``, the graph location whose calibrated activation scale the
+    segment consumes.
     """
     linear, tail = layers[0], layers[1:]
     if not isinstance(linear, Linear):
         raise TypeError("segment must start with a Linear layer")
-    weight = _export_array(linear.weight.data, backend)
-    bias = None if linear.bias is None else _export_array(linear.bias.data,
-                                                          backend)
-    if weight_only:
-        return (("linear", weight, None),)
     if epilogue:
+        bias = None if linear.bias is None \
+            else _export_array(linear.bias.data, backend)
         ops = [] if bias is None else [("bias", bias)]
         return tuple(ops + _tail_ops(tail, backend))
-    return tuple([("linear", weight, bias)] + _tail_ops(tail, backend))
+    if packer is not None:
+        head = packer(linear, site, weight_only)
+    else:
+        weight = _export_array(linear.weight.data, backend)
+        bias = None if weight_only or linear.bias is None \
+            else _export_array(linear.bias.data, backend)
+        head = ("linear", weight, bias)
+    if weight_only:
+        return (head,)
+    return tuple([head] + _tail_ops(tail, backend))
 
 
-def export_stack(layers, backend):
-    """Pack a whole Linear/.../Linear stack: one ops tuple per segment."""
+def export_stack(layers, backend, site=None, packer=None):
+    """Pack a whole Linear/.../Linear stack: one ops tuple per segment.
+
+    ``site`` is the stack's base graph location; segment ``i`` packs
+    under ``site + (i,)``, matching the parameter-table keys.
+    """
     return tuple(
-        export_segment(segment, backend)
-        for segment in segment_layers(layers)
+        export_segment(segment, backend,
+                       site=None if site is None else tuple(site) + (si,),
+                       packer=packer)
+        for si, segment in enumerate(segment_layers(layers))
     )
 
 
@@ -197,7 +215,7 @@ class ParameterTable:
     # -- construction --------------------------------------------------------
 
     @classmethod
-    def for_graph(cls, ngraph, backend, dedupe=True):
+    def for_graph(cls, ngraph, backend, dedupe=True, network=None):
         """Export the table of one whole-network graph under ``backend``.
 
         With ``dedupe`` (the default) the result is canonicalized
@@ -205,7 +223,16 @@ class ParameterTable:
         identical bytes — the other arity of the same program, another
         executor over the same network, any backend sharing the dtype —
         returns the existing table object instead of new copies.
+
+        ``network`` is the live network the graph was built from;
+        backends that pack segments specially (the quantized backend's
+        ``segment_packer`` hook) may need it to calibrate activation
+        scales before exporting.
         """
+        packer = None
+        make_packer = getattr(backend, "segment_packer", None)
+        if make_packer is not None:
+            packer = make_packer(ngraph, network)
         entries = {}
         segments = {}
         graph = ngraph.graph
@@ -230,6 +257,7 @@ class ParameterTable:
                         segments[midx][layer], backend,
                         weight_only=variant == "weight_only",
                         epilogue=variant == "epilogue",
+                        site=key, packer=packer,
                     )
             elif kind in ("head", "propagate"):
                 ref = node.attrs["ref"]
@@ -238,7 +266,9 @@ class ParameterTable:
                 obj = ngraph.refs[ref]
                 _check_not_stripped(obj)
                 for si, ops in enumerate(export_stack(_ref_layers(obj),
-                                                      backend)):
+                                                      backend,
+                                                      site=("ref", ref),
+                                                      packer=packer)):
                     entries[("ref", ref, si)] = ops
         table = cls(backend.name, backend.dtype, entries)
         return table._canonical() if dedupe else table

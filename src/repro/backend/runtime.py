@@ -153,7 +153,8 @@ class KernelProgram:
         self.batched = bool(batched)
         self.plan_memory = bool(plan_memory)
         if params is None:
-            params = ParameterTable.for_graph(ngraph, self.backend)
+            params = ParameterTable.for_graph(ngraph, self.backend,
+                                              network=network)
         elif np.dtype(params.dtype) != np.dtype(self.backend.dtype):
             raise ValueError(
                 f"parameter table dtype {params.dtype} does not match "
@@ -184,16 +185,33 @@ class KernelProgram:
         context = active_search_options()["dtype"]
         return context if context is not None else self.backend.search_dtype
 
-    def _apply_ops(self, ops, x, ctx, key):
-        """Run one packed segment's ops; GEMMs go to preallocated buffers."""
+    def _apply_ops(self, ops, x, ctx, key, site=None):
+        """Run one packed segment's ops; GEMMs go to preallocated buffers.
+
+        ``site`` is the segment's parameter-table key; when a
+        calibration observer is installed (``ctx["observe"]``) it
+        receives ``(site, x)`` before each GEMM — including the folded
+        chain intermediates that never reach the kernel environment.
+        """
         backend = self.backend
+        observe = ctx.get("observe")
         for i, op in enumerate(ops):
             kind = op[0]
             if kind == "linear":
+                if observe is not None:
+                    observe(site, x)
                 out = self._buffer(ctx, (key, i), (x.shape[0], op[1].shape[1]))
                 x = backend.matmul(x, op[1], out=out)
                 if op[2] is not None:
                     backend.add_bias(x, op[2])
+            elif kind == "qlinear":
+                # ("qlinear", qweight, w_scale, bias, a_scale): the
+                # quantized GEMM dequantizes into the planned float32
+                # buffer; bias and tail stay float32.
+                out = self._buffer(ctx, (key, i), (x.shape[0], op[1].shape[1]))
+                x = backend.qmatmul(x, op[1], op[2], op[4], out=out)
+                if op[3] is not None:
+                    backend.add_bias(x, op[3])
             elif kind == "bias":
                 x = backend.add_bias(x, op[1])
             elif kind == "relu":
@@ -346,18 +364,20 @@ class KernelProgram:
         consumed.update(n.id for n in chain[1:])
         specs = []
         for link in chain:
+            weight_only = bool(link.attrs.get("weight_only"))
             ops = self.table.module_segment(
-                midx, link.attrs["layer"],
-                weight_only=bool(link.attrs.get("weight_only")),
+                midx, link.attrs["layer"], weight_only=weight_only,
             )
-            specs.append((link.id, ops))
+            site = ("module", midx, link.attrs["layer"],
+                    "weight_only" if weight_only else "full")
+            specs.append((link.id, ops, site))
         source = chain[0].inputs[0]
         last = chain[-1].id
 
         def kernel(env, ctx):
             x = env[source]
-            for link_id, ops in specs:
-                x = self._apply_ops(ops, x, ctx, ("mm", link_id))
+            for link_id, ops, site in specs:
+                x = self._apply_ops(ops, x, ctx, ("mm", link_id), site)
             env[last] = x
 
         return kernel
@@ -454,9 +474,10 @@ class KernelProgram:
         return kernel
 
     def _k_epilogue(self, graph, node, midx):
-        ops = self.table.module_segment(midx, node.attrs["layer"],
-                                        epilogue=True)
+        layer = node.attrs["layer"]
+        ops = self.table.module_segment(midx, layer, epilogue=True)
         source, nid = node.inputs[0], node.id
+        site = ("module", midx, layer, "epilogue")
         # The epilogue runs in place; copy first unless it is the sole
         # consumer of its input.
         shared = len(graph.consumers(source)) > 1
@@ -465,7 +486,7 @@ class KernelProgram:
             x = env[source]
             if shared:
                 x = x.copy()
-            env[nid] = self._apply_ops(ops, x, ctx, ("epi", nid))
+            env[nid] = self._apply_ops(ops, x, ctx, ("epi", nid), site)
 
         return kernel
 
@@ -511,20 +532,23 @@ class KernelProgram:
         return kernel
 
     def _k_head(self, node):
-        stages = self._stages(node.attrs["ref"])
+        ref = node.attrs["ref"]
+        stages = self._stages(ref)
         source, nid = node.inputs[0], node.id
 
         def kernel(env, ctx):
             x = env[source]
             for si, ops in enumerate(stages):
-                x = self._apply_ops(ops, x, ctx, ("head", nid, si))
+                x = self._apply_ops(ops, x, ctx, ("head", nid, si),
+                                    ("ref", ref, si))
             env[nid] = x
 
         return kernel
 
     def _k_propagate(self, node):
-        fp = self.ngraph.refs[node.attrs["ref"]]
-        stages = self._stages(node.attrs["ref"])
+        ref = node.attrs["ref"]
+        fp = self.ngraph.refs[ref]
+        stages = self._stages(ref)
         cap = fp.K
         fine_c, fine_f, coarse_c, coarse_f = node.inputs
         nid, batched = node.id, self.batched
@@ -560,7 +584,8 @@ class KernelProgram:
             x = (gathered * weights[:, :, None]).sum(axis=1)
             x = np.concatenate([env[fine_f], x], axis=1)
             for si, ops in enumerate(stages):
-                x = self._apply_ops(ops, x, ctx, ("fp", nid, si))
+                x = self._apply_ops(ops, x, ctx, ("fp", nid, si),
+                                    ("ref", ref, si))
             env[nid] = x
 
         return kernel
@@ -701,6 +726,12 @@ class KernelProgram:
             "alloc": alloc,
             "pos": 0,
         }
+        # A hook exposing an ``observe`` method (the quantization
+        # CalibrationRecorder) additionally sees every linear segment's
+        # (site, input) — folded chain intermediates included.
+        observe = getattr(on_kernel, "observe", None)
+        if observe is not None:
+            ctx["observe"] = observe
         env = {}
         if measuring is None:
             for pos, (label, kernel) in enumerate(self._kernels):

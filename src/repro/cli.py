@@ -288,6 +288,12 @@ def _cmd_bench(args):
           f"({be['speedup_fast_batched']:.2f}x, "
           f"rel err {be['fast_max_rel_err']:.1e}, "
           f"top-1 {'ok' if be['fast_argmax_equal'] else 'DIFFERS'})")
+    qt = results["quant"]
+    print(f"  quant    int8 {qt['int8_batched_ms']:8.2f} ms "
+          f"({qt['speedup_vs_float64']:.2f}x vs float64)   "
+          f"top-1 agree {qt['min_top1_agreement'] * 100:5.1f}%   "
+          f"packed {qt['packed_bytes_ratio'] * 100:.1f}% of float64   "
+          f"calib {'stable' if qt['calibration_deterministic'] else 'DRIFTS'}")
     mem = results["mem"]
     print(f"  mem      pool {mem['pool_bytes'] / 1e6:8.2f} MB   "
           f"arena {mem['arena_bytes'] / 1e6:8.2f} MB "
@@ -468,7 +474,7 @@ def build_parser():
     p_compile.add_argument("--strategy", default="delayed",
                            choices=("original", "delayed", "limited"))
     p_compile.add_argument("--backend", default="float64",
-                           choices=("float64", "float32"))
+                           choices=("float64", "float32", "int8"))
     p_compile.add_argument("--scale", type=float, default=0.125)
     p_compile.add_argument("--batch", type=int, default=8,
                            help="representative batch size whose arena plan "
@@ -499,7 +505,7 @@ def build_parser():
     p_bench.add_argument("--quick", action="store_true",
                          help="tiny workloads (CI smoke)")
     p_bench.add_argument("--backend", default="float32",
-                         choices=("float32", "float64"),
+                         choices=("float32", "float64", "int8"),
                          help="kernel-runtime fast path the backend row "
                               "measures against eager (the float64 "
                               "reference is always included)")
@@ -549,7 +555,7 @@ def _add_serve_options(parser, bench):
     parser.add_argument("--workers", type=int, default=1,
                         help="dispatch concurrency (1 = fully serial)")
     parser.add_argument("--serve-backend", default="eager",
-                        choices=("eager", "float32", "float64"),
+                        choices=("eager", "float32", "float64", "int8"),
                         help="execution path requests drain through: the "
                              "batched graph interpreter or a compiled "
                              "kernel backend")

@@ -25,7 +25,8 @@ from .parallel import ParallelRunner, kdtree_nit_task
 from .runner import BatchRunner
 from .scheduler import AsyncRunner
 
-__all__ = ["bench_mem", "bench_meta", "run_benchmarks", "write_json"]
+__all__ = ["bench_mem", "bench_meta", "bench_quant", "run_benchmarks",
+           "write_json"]
 
 
 def bench_meta(quick=False):
@@ -608,6 +609,113 @@ def bench_backend(network="PointNet++ (c)", batch=16, scale=0.125,
     }
 
 
+def _top1_fraction(reference, other):
+    """Fraction of per-sample top-1 predictions that agree."""
+    agree = total = 0
+    for a, b in _output_leaves(reference, other):
+        flat_a = a.reshape(-1, a.shape[-1])
+        flat_b = np.asarray(b).reshape(-1, b.shape[-1])
+        agree += int((flat_a.argmax(-1) == flat_b.argmax(-1)).sum())
+        total += flat_a.shape[0]
+    return agree / total if total else 1.0
+
+
+def bench_quant(network="PointNet++ (c)", scale=0.125, repeats=2, seed=0,
+                epochs=3, quick=False):
+    """Int8 quantized backend vs the float64 reference, on trained weights.
+
+    Top-1 preservation under quantization is a statement about decisive
+    predictions, so the workload mirrors the paper's Fig 16 protocol at
+    toy scale: train the network briefly on the deterministic synthetic
+    classification set, calibrate activation scales on the training
+    clouds, then compare the int8 and float64 kernel programs on every
+    cloud (train + held-out) under all three strategies.  Alongside the
+    timings the row records the three stories CI gates on exactly:
+    per-strategy top-1 agreement (≥ 99% on every workload), the packed
+    int8 blob's size relative to the float64 blob (≤ 30%), and
+    calibration determinism (two same-seed runs must serialize to
+    byte-identical scale tables).
+    """
+    from ..backend import ParameterTable, calibrate_scales, get_backend
+    from ..backend.quant import Int8Backend
+    from ..data import SyntheticModelNet
+    from ..networks import train_classifier
+
+    if quick:
+        epochs = min(epochs, 2)
+        repeats = 1
+    dataset = SyntheticModelNet(num_classes=4, n_points=256,
+                                train_per_class=8,
+                                test_per_class=8 if quick else 24,
+                                seed=seed, rotate=False)
+    net = build_network(network, num_classes=4, scale=scale,
+                        rng=np.random.default_rng(seed))
+    n = net.n_points
+    train_clouds = dataset.train_clouds[:, :n]
+    result = train_classifier(net, train_clouds, dataset.train_labels,
+                              epochs=epochs, lr=1e-3, strategy="delayed",
+                              seed=1)
+    net.eval()
+    eval_clouds = np.concatenate([train_clouds,
+                                  dataset.test_clouds[:, :n]])
+
+    b64 = get_backend("float64")
+    per_strategy = {}
+    packed64 = packed8 = None
+    int8_ms = float64_ms = float("inf")
+    for strategy in ("original", "delayed", "limited"):
+        scales = calibrate_scales(net, strategy, clouds=train_clouds)
+        b8 = Int8Backend(scales=scales)
+        ref_runner = BatchRunner(net, strategy=strategy, backend=b64)
+        q_runner = BatchRunner(net, strategy=strategy, backend=b8)
+        reference = ref_runner.run(eval_clouds).outputs
+        quantized = q_runner.run(eval_clouds).outputs
+        per_strategy[strategy] = {
+            "top1_agreement": _top1_fraction(reference, quantized),
+            "max_rel_err": _max_rel_err(reference, quantized),
+            "scale_table_hash": scales.content_hash,
+        }
+        if strategy == "delayed":
+            ngraph = net.network_graph(strategy)
+            packed64 = len(ParameterTable.for_graph(
+                ngraph, b64, network=net).pack()[1])
+            packed8 = len(ParameterTable.for_graph(
+                ngraph, b8, network=net).pack()[1])
+            for _ in range(max(1, repeats)):
+                float64_ms = min(float64_ms, _best_ms(
+                    lambda: ref_runner.run(eval_clouds), 1))
+                int8_ms = min(int8_ms, _best_ms(
+                    lambda: q_runner.run(eval_clouds), 1))
+            rerun = calibrate_scales(net, strategy, clouds=train_clouds)
+            deterministic = rerun.to_json() == scales.to_json()
+
+    return {
+        "workload": {
+            "network": network,
+            "strategy": "original+delayed+limited",
+            "scale": scale,
+            "n_points": n,
+            "train_clouds": int(train_clouds.shape[0]),
+            "eval_clouds": int(eval_clouds.shape[0]),
+            "epochs": epochs,
+        },
+        "baseline": "float64 kernel programs over the same trained weights",
+        "final_train_loss": float(result.losses[-1]),
+        "per_strategy": per_strategy,
+        "min_top1_agreement": min(
+            row["top1_agreement"] for row in per_strategy.values()),
+        "max_rel_err": max(
+            row["max_rel_err"] for row in per_strategy.values()),
+        "packed_bytes_float64": packed64,
+        "packed_bytes_int8": packed8,
+        "packed_bytes_ratio": packed8 / packed64,
+        "calibration_deterministic": bool(deterministic),
+        "float64_batched_ms": float64_ms,
+        "int8_batched_ms": int8_ms,
+        "speedup_vs_float64": float64_ms / int8_ms,
+    }
+
+
 def bench_mem(network="PointNet++ (c)", batch=8, scale=0.125,
               strategy="delayed", repeats=2, seed=0):
     """Memory planner + AOT program cache vs the PR 5 runtime.
@@ -829,6 +937,12 @@ def run_benchmarks(batch=16, n_points=1024, k=16, network="PointNet++ (c)",
             strategy=strategy,
             repeats=max(1, repeats - 1),
             fast=backend,
+        ),
+        "quant": bench_quant(
+            network=network,
+            scale=scale,
+            repeats=max(1, repeats - 1),
+            quick=quick,
         ),
         "mem": bench_mem(
             network=network,

@@ -476,7 +476,7 @@ class AsyncRunner(BatchRunner):
                 if self._shared_table is None:
                     ngraph = self.network.network_graph(self.strategy)
                     table = ParameterTable.for_graph(
-                        ngraph, backend=backend
+                        ngraph, backend=backend, network=self.network
                     )
                     self._shared_table = share_table(table)
                 descriptor = self._shared_table.descriptor()

@@ -207,7 +207,7 @@ def bench_serve(network="PointNet++ (c)", scale=0.0625, strategy="delayed",
     batched_p99 = [cell["p99_ms"] for cell in grid
                    if cell["policy"] != "no_batching"]
     backend_name = getattr(backend, "name", backend) or "eager-float64"
-    fast_path = backend_name == "float32"
+    fast_path = backend_name in ("float32", "int8")
     return {
         "workload": {
             "network": network,
