@@ -308,16 +308,17 @@ class ProgramCache:
 
     @staticmethod
     def config_key(network_name, strategy, backend_name, batched,
-                   fingerprint):
+                   fingerprint, fusion=()):
         arity = "batched" if batched else "single"
+        fused = "+".join(fusion) if fusion else "nofuse"
         return f"{network_name}|{strategy}|{backend_name}|{arity}|" \
-               f"{fingerprint}"
+               f"{fused}|{fingerprint}"
 
     def digest_for(self, network_name, strategy, backend_name, batched,
-                   fingerprint):
+                   fingerprint, fusion=()):
         """The stored digest for a configuration, or ``None``."""
         key = self.config_key(network_name, strategy, backend_name, batched,
-                              fingerprint)
+                              fingerprint, fusion=fusion)
         return self._read_index().get(key)
 
     # -- store / load --------------------------------------------------------
@@ -343,6 +344,7 @@ class ProgramCache:
             "backend": program.backend.name,
             "dtype": str(np.dtype(program.backend.dtype)),
             "batched": program.batched,
+            "fusion": list(program.fusion),
             "fingerprint": fingerprint,
             "kernels": list(program.kernel_labels),
             "plans": {
@@ -365,7 +367,7 @@ class ProgramCache:
         index = self._read_index()
         key = self.config_key(manifest["network"], manifest["strategy"],
                               manifest["backend"], manifest["batched"],
-                              fingerprint)
+                              fingerprint, fusion=program.fusion)
         if index.get(key) != digest:
             index[key] = digest
             self._write_index(index)
@@ -399,7 +401,8 @@ class ProgramCache:
         backend = get_backend(manifest["backend"])
         program = KernelProgram(ngraph, network, backend,
                                 manifest["batched"], params=table,
-                                plan_memory=plan_memory)
+                                plan_memory=plan_memory,
+                                fusion=tuple(manifest.get("fusion", ())))
         if list(program.kernel_labels) != manifest["kernels"]:
             raise ValueError(
                 f"stored program {digest[:12]} kernel list is stale for "
@@ -414,7 +417,7 @@ class ProgramCache:
         return program
 
     def program_for(self, ngraph, network, backend, batched, params=None,
-                    plan_memory=True):
+                    plan_memory=True, fusion=()):
         """Load-or-compile: the executor's entry point.
 
         A cache hit rebuilds from disk (zero-copy parameters, seeded
@@ -422,15 +425,20 @@ class ProgramCache:
         the next process — or the next CI step — hits.  ``params``
         short-circuits the disk path entirely: the caller already
         holds an attached table, and a skeleton network could not
-        re-export one anyway.
+        re-export one anyway.  ``fusion`` flags key separate cache
+        entries — a fused and an unfused program of the same config
+        never collide (and the stored kernel-label check would catch a
+        mismatch anyway).
         """
         backend = get_backend(backend)
         if params is not None:
             return KernelProgram(ngraph, network, backend, batched,
-                                 params=params, plan_memory=plan_memory)
+                                 params=params, plan_memory=plan_memory,
+                                 fusion=fusion)
         fingerprint = network_fingerprint(network)
         digest = self.digest_for(ngraph.network, ngraph.strategy,
-                                 backend.name, batched, fingerprint)
+                                 backend.name, batched, fingerprint,
+                                 fusion=fusion)
         if digest is not None:
             try:
                 return self.load(digest, ngraph, network,
@@ -438,11 +446,57 @@ class ProgramCache:
             except (OSError, ValueError, KeyError, json.JSONDecodeError):
                 pass  # stale or damaged entry: recompile below
         program = KernelProgram(ngraph, network, backend, batched,
-                                plan_memory=plan_memory)
+                                plan_memory=plan_memory, fusion=fusion)
         self.store(program, fingerprint)
         return program
 
-    def descriptor_for(self, network, strategy, backend, batched=False):
+    # -- tuned dispatch tables -----------------------------------------------
+
+    def store_tuned(self, network_name, fingerprint, table_json):
+        """Persist an autotuner dispatch table; returns its digest.
+
+        Tables are keyed per (network, weight fingerprint) the same way
+        programs are — a retrained network misses cleanly — and stored
+        as manifest-only entries (no parameter blob).
+        """
+        manifest = {
+            "format": 1,
+            "kind": "tuned-table",
+            "network": network_name,
+            "fingerprint": fingerprint,
+            "table": table_json,
+        }
+        body = json.dumps(manifest, sort_keys=True).encode()
+        digest = hashlib.sha256(body).hexdigest()
+        manifest_path = self._manifest_path(digest)
+        if not os.path.exists(manifest_path):
+            with open(manifest_path + ".tmp", "w") as handle:
+                json.dump(manifest, handle, sort_keys=True)
+            os.replace(manifest_path + ".tmp", manifest_path)
+        index = self._read_index()
+        key = f"tuned|{network_name}|{fingerprint}"
+        if index.get(key) != digest:
+            index[key] = digest
+            self._write_index(index)
+        return digest
+
+    def load_tuned(self, network_name, fingerprint):
+        """The stored tuned-table JSON for a network, or ``None``."""
+        digest = self._read_index().get(
+            f"tuned|{network_name}|{fingerprint}"
+        )
+        if digest is None:
+            return None
+        try:
+            manifest = self.manifest(digest)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if manifest.get("kind") != "tuned-table":
+            return None
+        return manifest["table"]
+
+    def descriptor_for(self, network, strategy, backend, batched=False,
+                       fusion=()):
         """A picklable ``{"kind": "file"}`` token for pool workers.
 
         Compiles-and-stores on first use, so the parent pays the
@@ -450,7 +504,8 @@ class ProgramCache:
         """
         backend = get_backend(backend)
         ngraph = network.network_graph(strategy)
-        program = self.program_for(ngraph, network, backend, batched)
+        program = self.program_for(ngraph, network, backend, batched,
+                                   fusion=fusion)
         digest = self.store(program)
         return {"kind": "file", "directory": self.directory,
                 "digest": digest}

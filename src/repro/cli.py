@@ -10,6 +10,9 @@ trace NETWORK [--strategy S] [--memory]
 compile NETWORK [--strategy S] [--backend B] [--cache DIR]
     Ahead-of-time compile kernel programs into an on-disk program
     cache (packed parameters + measured arena plans).
+tune NETWORK [--batch B] [--backends B ...] [--cache DIR]
+    Measure the strategy x backend x fusion grid for one workload
+    shape and store the winning configuration in the program cache.
 simulate NETWORK [--config C]
     Simulate one network on one SoC configuration.
 networks
@@ -70,6 +73,7 @@ def _cmd_trace(args):
         print(schedule.describe())
         print(f"cross-module overlap steps: "
               f"{len(schedule.cross_module_overlap_steps())}")
+        _trace_fusion(net, args)
     elif args.graph:
         # The strategy-rewritten whole-network operator graph the
         # executors run and the trace below is lowered from.
@@ -89,6 +93,34 @@ def _cmd_trace(args):
         print(f"  {phase}    {row['ops']:3d} {row['macs']:11,d} "
               f"{row['bytes_read']:12,d} {row['bytes_written']:14,d}")
     return 0
+
+
+def _trace_fusion(net, args):
+    """``repro trace --schedule`` tail: the kernel compiler's fusion
+
+    decisions on this graph, plus the autotuner's chosen configuration
+    when ``--cache`` points at a program cache with a stored table.
+    """
+    from .graph import fusion_report
+
+    lines = fusion_report(net.network_graph(args.strategy).graph)
+    print(f"kernel fusion decisions ({len(lines)} rewrite(s)):")
+    for line in lines:
+        print(f"  {line}")
+    if not args.cache:
+        return
+    from .backend import ProgramCache, network_fingerprint
+    from .tune import TunedTable
+
+    data = ProgramCache(args.cache).load_tuned(
+        net.name, network_fingerprint(net)
+    )
+    if data is None:
+        print(f"tuned config: none stored in {args.cache} "
+              f"(run 'repro tune' first)")
+        return
+    for line in TunedTable.from_json(data).describe():
+        print(f"tuned config: {line}")
 
 
 def _trace_memory(net, strategy):
@@ -139,6 +171,31 @@ def _cmd_compile(args):
                   f"{args.backend} {arity}  arena {plan.total_bytes:10,d} B "
                   f"(-{plan.reduction * 100:.1f}% vs pool)")
     print(f"programs cached in {cache.directory}")
+    return 0
+
+
+def _cmd_tune(args):
+    """Autotune configurations per workload shape; store tuned tables."""
+    from .backend import ProgramCache
+    from .networks import build_network
+    from .tune import Autotuner
+
+    cache = ProgramCache(args.cache) if args.cache else None
+    for name in args.network or ["PointNet++ (c)"]:
+        net = build_network(name, scale=args.scale)
+        tuner = Autotuner(net, program_cache=cache, repeats=args.repeats,
+                          seed=args.seed)
+        log = []
+        table = tuner.tune(batch=args.batch,
+                           backends=tuple(args.backends),
+                           prune_ratio=args.prune_ratio, report=log)
+        for line in log:
+            print(f"  {line}")
+        for line in table.describe():
+            print(line)
+        suffix = (f"; table stored in {cache.directory}" if cache else
+                  "; pass --cache to persist the table")
+        print(f"  ran {tuner.n_benchmarks} benchmark(s){suffix}")
     return 0
 
 
@@ -359,6 +416,9 @@ def _build_server(args):
     policy = BatchPolicy(max_batch=args.max_batch,
                          max_wait_ms=args.max_wait_ms,
                          max_queue=args.max_queue)
+    if args.tuned and not args.program_cache:
+        raise SystemExit("--tuned needs --program-cache to load stored "
+                         "tables from (warm it with 'repro tune')")
     return Server.hosting(
         args.network or ["PointNet++ (c)"],
         strategy=args.strategy,
@@ -368,6 +428,7 @@ def _build_server(args):
         program_cache=args.program_cache,
         policy=policy,
         workers=args.workers,
+        tuned=args.tuned,
     )
 
 
@@ -465,6 +526,10 @@ def build_parser():
                          help="print the kernel runtime's per-phase memory "
                               "peaks before/after arena planning, plus the "
                               "planned arena layout")
+    p_trace.add_argument("--cache", default=None, metavar="DIR",
+                         help="with --schedule: program cache directory to "
+                              "read the autotuner's chosen configuration "
+                              "from (see 'repro tune')")
 
     p_compile = sub.add_parser(
         "compile", help="AOT-compile kernel programs into a program cache"
@@ -482,6 +547,33 @@ def build_parser():
     p_compile.add_argument("--cache", default=".repro-programs", metavar="DIR",
                            help="program cache directory (content-addressed; "
                                 "safe to reuse across networks and restarts)")
+
+    p_tune = sub.add_parser(
+        "tune", help="autotune strategy/backend/fusion per workload shape"
+    )
+    p_tune.add_argument("network", nargs="*",
+                        help="networks to tune (default PointNet++ (c))")
+    p_tune.add_argument("--scale", type=float, default=0.125)
+    p_tune.add_argument("--batch", type=int, default=8,
+                        help="workload batch size the shape key records")
+    p_tune.add_argument("--repeats", type=int, default=2,
+                        help="best-of-N timing per surviving candidate")
+    p_tune.add_argument("--seed", type=int, default=2020,
+                        help="probe-cloud seed (fixed seed => deterministic "
+                             "candidate record)")
+    p_tune.add_argument("--backends", nargs="+",
+                        default=["float64", "float32", "int8"],
+                        choices=("float64", "float32", "int8"),
+                        help="kernel backend tiers to enumerate")
+    p_tune.add_argument("--prune-ratio", type=float, default=None,
+                        help="skip strategies the cost model predicts at "
+                             "more than this multiple of the cheapest "
+                             "strategy's MACs (skips are recorded, never "
+                             "silent)")
+    p_tune.add_argument("--cache", default=".repro-programs", metavar="DIR",
+                        help="program cache directory the tuned table "
+                             "persists in (warm re-tunes run zero "
+                             "benchmarks); pass '' to disable")
 
     p_sim = sub.add_parser("simulate", help="simulate a network on an SoC")
     p_sim.add_argument("network")
@@ -565,6 +657,13 @@ def _add_serve_options(parser, bench):
                              "parameters, measured arena plans) and "
                              "first-compiles persist for the next start — "
                              "warm it with 'repro compile'")
+    if not bench:
+        parser.add_argument("--tuned", action="store_true",
+                            help="dispatch each hosted network on its "
+                                 "stored autotuned table from "
+                                 "--program-cache (warm it with 'repro "
+                                 "tune'; networks without a stored table "
+                                 "keep the fixed configuration)")
     if bench:
         parser.add_argument("--deadline-ms", type=float, default=750.0,
                             help="p99 budget the serve row records for "
@@ -576,6 +675,7 @@ _COMMANDS = {
     "networks": _cmd_networks,
     "trace": _cmd_trace,
     "compile": _cmd_compile,
+    "tune": _cmd_tune,
     "simulate": _cmd_simulate,
     "train": _cmd_train,
     "bench": _cmd_bench,

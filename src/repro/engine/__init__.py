@@ -11,7 +11,7 @@ irregular per-cloud work across cores (:class:`ParallelRunner`).
 trajectory in ``BENCH_engine.json``.
 """
 
-from .bench import run_benchmarks, write_json
+from .bench import bench_tune, run_benchmarks, validate_row, write_json
 from .cache import NeighborIndexCache, content_digest
 from .parallel import ParallelRunner, kdtree_nit_task, soc_latency_task
 from .runner import BatchResult, BatchRunner
@@ -36,6 +36,8 @@ __all__ = [
     "ParallelRunner",
     "kdtree_nit_task",
     "soc_latency_task",
+    "bench_tune",
     "run_benchmarks",
+    "validate_row",
     "write_json",
 ]

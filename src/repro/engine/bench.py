@@ -25,8 +25,8 @@ from .parallel import ParallelRunner, kdtree_nit_task
 from .runner import BatchRunner
 from .scheduler import AsyncRunner
 
-__all__ = ["bench_mem", "bench_meta", "bench_quant", "run_benchmarks",
-           "write_json"]
+__all__ = ["bench_mem", "bench_meta", "bench_quant", "bench_tune",
+           "run_benchmarks", "validate_row", "write_json"]
 
 
 def bench_meta(quick=False):
@@ -873,6 +873,121 @@ def bench_substrates(n_points=1024, k=16, queries=256, repeats=3, seed=0):
     return out
 
 
+def bench_tune(network="PointNet++ (c)", scale=0.125, batch=8, repeats=2,
+               seed=0, quick=False):
+    """Autotuned dispatch vs the best and worst fixed configurations.
+
+    Runs the :class:`~repro.tune.Autotuner` over the strategy x
+    backend x fusion grid for one workload shape, then re-times three
+    runners on the same probe clouds: ``BatchRunner(tuned=table)``
+    (measured dispatch), the best fixed configuration, and the worst
+    *gate-passing* fixed configuration.  Alongside the timings the row
+    records the stories CI gates on exactly: the winner passed its
+    correctness gate, a warm same-cache re-tune performs zero
+    benchmarks and round-trips the stored table byte-identically, two
+    cold same-seed tunes agree on every candidate's gate outcome, and
+    the fusion rewrites are bit-exact in float64 while lowering the
+    planner's peak live bytes.
+    """
+    import tempfile
+
+    from ..backend import ProgramCache, compile_kernel_program
+    from ..tune import Autotuner, shape_key
+
+    if quick:
+        batch = min(batch, 4)
+        repeats = 1
+    backends = ("float64", "float32")
+    fusions = ((), ("epilogue", "gather"))
+    net = build_network(network, scale=scale, rng=np.random.default_rng(seed))
+    key = shape_key(net.name, net.n_points, batch)
+
+    with tempfile.TemporaryDirectory(prefix="repro-tune-bench-") as tmp:
+        cache = ProgramCache(tmp)
+        cold = Autotuner(net, program_cache=cache, repeats=repeats, seed=seed)
+        table = cold.tune(batch=batch, backends=backends, fusions=fusions)
+        warm = Autotuner(net, program_cache=cache, repeats=repeats, seed=seed)
+        warm_table = warm.tune(batch=batch, backends=backends,
+                               fusions=fusions)
+    round_trip = (json.dumps(table.to_json(), sort_keys=True)
+                  == json.dumps(warm_table.to_json(), sort_keys=True))
+
+    # Cold-vs-cold determinism: timings vary run to run, but for a
+    # fixed seed the candidate grid, its order, and every gate verdict
+    # and metric must agree exactly.
+    second = Autotuner(net, repeats=repeats, seed=seed)
+    second_table = second.tune(batch=batch, backends=backends,
+                               fusions=fusions)
+
+    def gate_record(tbl):
+        return [(c.key(), c.gate_passed, c.gate)
+                for c in tbl.candidates(key)]
+
+    deterministic = gate_record(table) == gate_record(second_table)
+
+    winner = table.config(key)
+    passed = [c for c in table.candidates(key) if c.gate_passed]
+    worst = max(passed, key=lambda c: c.ms)
+    clouds = np.random.default_rng(seed).normal(size=(batch, net.n_points, 3))
+
+    def timed(runner):
+        runner.run(clouds)  # warm compile outside the timed region
+        return _best_ms(lambda: runner.run(clouds), repeats)
+
+    tuned_ms = timed(BatchRunner(net, tuned=table))
+    best_ms = timed(BatchRunner(net, **winner.runner_kwargs(net)))
+    worst_ms = timed(BatchRunner(net, **worst.runner_kwargs(net)))
+
+    # The tentpole's fusion story on this workload: float64 fused
+    # kernels must match unfused bit-for-bit, and the fused-gather
+    # rewrite must shrink the planner's peak live bytes (it skips the
+    # full-layer materialization between GEMM and gather).
+    probe = clouds[0]
+    peaks, outputs = {}, {}
+    for fusion in ((), ("epilogue", "gather")):
+        program = compile_kernel_program(net, "delayed", backend="float64",
+                                         fusion=fusion)
+        label = "+".join(fusion) if fusion else "nofuse"
+        peaks[label] = int(program.memory_report(probe)["peak_live_bytes"])
+        outputs[label] = program.run(probe)
+    fused_exact = _outputs_equal(outputs["nofuse"],
+                                 outputs["epilogue+gather"])
+
+    return {
+        "workload": {
+            "network": net.name,
+            "scale": scale,
+            "batch": batch,
+            "n_points": net.n_points,
+            "backends": list(backends),
+            "fusions": ["+".join(f) if f else "nofuse" for f in fusions],
+            "repeats": repeats,
+            "seed": seed,
+        },
+        "baseline": "best/worst fixed configuration over the same "
+                    "candidate grid",
+        "autotuned_config": winner.key(),
+        "autotuned_ms": tuned_ms,
+        "best_fixed_ms": best_ms,
+        "worst_fixed_config": worst.key(),
+        "worst_fixed_ms": worst_ms,
+        "autotuned_vs_best_fixed": tuned_ms / best_ms,
+        "speedup_vs_worst_fixed": worst_ms / tuned_ms,
+        "winner_gate_passed": bool(winner.gate_passed),
+        "n_candidates": len(table.candidates(key)),
+        "n_gate_failures": len(table.candidates(key)) - len(passed),
+        "cold_benchmarks": cold.n_benchmarks,
+        "warm_rebenchmarks": warm.n_benchmarks,
+        "table_round_trip": bool(round_trip),
+        "table_deterministic": bool(deterministic),
+        "fused_bit_exact_float64": bool(fused_exact),
+        "peak_live_unfused_bytes": peaks["nofuse"],
+        "peak_live_fused_bytes": peaks["epilogue+gather"],
+        "peak_live_reduction": 1.0 - peaks["epilogue+gather"]
+        / peaks["nofuse"],
+    }
+
+
 def run_benchmarks(batch=16, n_points=1024, k=16, network="PointNet++ (c)",
                    scale=0.125, strategy="delayed", repeats=3, quick=False,
                    backend="float32"):
@@ -962,8 +1077,67 @@ def run_benchmarks(batch=16, n_points=1024, k=16, network="PointNet++ (c)",
     return results
 
 
+def _validate_leaves(value, path):
+    if isinstance(value, dict):
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise ValueError(f"bench row key {path}.{key!r} must be a "
+                                 "string")
+            _validate_leaves(item, f"{path}.{key}")
+    elif isinstance(value, (list, tuple)):
+        for index, item in enumerate(value):
+            _validate_leaves(item, f"{path}[{index}]")
+    elif isinstance(value, (bool, str)) or value is None:
+        return
+    elif isinstance(value, (int, float, np.integer, np.floating)):
+        if not np.isfinite(value):
+            raise ValueError(
+                f"bench value {path} is non-finite ({value!r}); CI gates "
+                "cannot compare it — record None instead"
+            )
+    else:
+        raise ValueError(
+            f"bench value {path} has non-JSON type {type(value).__name__}"
+        )
+
+
+def validate_row(row, name="row"):
+    """Validate one bench row against the shared BENCH_*.json schema.
+
+    Every row is a dict leading with a non-empty ``workload`` dict
+    (naming the configuration) and a ``baseline`` string (naming what
+    the row measures against), and every leaf must be a JSON scalar —
+    finite numbers, strings, bools, or None — so the row trajectory
+    stays machine-comparable PR over PR and every value can appear in a
+    CI gate expression.  Returns the row; raises :class:`ValueError`
+    naming the offending path otherwise.
+    """
+    if not isinstance(row, dict):
+        raise ValueError(f"bench row {name!r} must be a dict, got "
+                         f"{type(row).__name__}")
+    workload = row.get("workload")
+    if not isinstance(workload, dict) or not workload:
+        raise ValueError(f"bench row {name!r} needs a non-empty 'workload' "
+                         "dict naming its configuration")
+    baseline = row.get("baseline")
+    if not isinstance(baseline, str) or not baseline:
+        raise ValueError(f"bench row {name!r} needs a 'baseline' string "
+                         "naming what it measures against")
+    _validate_leaves(row, name)
+    return row
+
+
 def write_json(results, path):
-    """Write a benchmark result dict to ``path`` as sorted, indented JSON."""
+    """Write a benchmark result dict to ``path`` as sorted, indented JSON.
+
+    Every top-level row except the ``meta`` environment block is
+    checked against the shared schema (:func:`validate_row`) first, so
+    a malformed row fails the writer instead of silently landing in a
+    BENCH_*.json artifact CI gates on.
+    """
+    for name, row in results.items():
+        if name != "meta":
+            validate_row(row, name=name)
     with open(path, "w") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)
         handle.write("\n")

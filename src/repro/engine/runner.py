@@ -113,10 +113,24 @@ class BatchRunner:
         zero-copy memmapped parameters, pre-measured arena plans — and
         first-compiles persist for the next process.  Only meaningful
         together with ``backend``.
+    fusion:
+        Kernel fusion flags (e.g. ``("epilogue", "gather")``) applied
+        when the compiled programs are built.  Only meaningful together
+        with ``backend`` — the graph interpreter never sees fused
+        graphs.
+    tuned:
+        Optional :class:`~repro.tune.TunedTable` (or its JSON form).
+        Each :meth:`run` then dispatches on the measured winner for the
+        request's shape key (network, point count, batch size, nearest
+        batch as fallback), delegating to an internally memoized runner
+        per winning configuration; the runner's own
+        strategy/backend/fusion settings serve only shapes the table
+        has no entry for.
     """
 
     def __init__(self, network, strategy="delayed", substrate="brute",
-                 cache=None, dtype=None, backend=None, program_cache=None):
+                 cache=None, dtype=None, backend=None, program_cache=None,
+                 fusion=(), tuned=None):
         if strategy not in STRATEGIES:
             raise ValueError(f"unknown strategy {strategy!r}")
         self.network = network
@@ -135,12 +149,21 @@ class BatchRunner:
 
             program_cache = ProgramCache(program_cache)
         self.program_cache = program_cache
+        from ..graph import normalize_fusion
+
+        self.fusion = normalize_fusion(fusion)
+        if tuned is not None and not hasattr(tuned, "lookup"):
+            from ..tune import TunedTable
+
+            tuned = TunedTable.from_json(tuned)
+        self.tuned = tuned
+        self._tuned_runners = {}
         self._kernel_executor = None
         if backend is not None:
             from ..backend import NetworkKernelExecutor
 
             self._kernel_executor = NetworkKernelExecutor(
-                backend, program_cache=program_cache
+                backend, program_cache=program_cache, fusion=self.fusion
             )
         self._plan = None
 
@@ -192,13 +215,42 @@ class BatchRunner:
             dict(self.cache.stats()) if self.cache is not None else {},
         )
 
+    def _batch_size(self, clouds):
+        if isinstance(clouds, (list, tuple)):
+            return len(clouds)
+        arr = np.asarray(clouds)
+        return 1 if arr.ndim == 2 else len(arr)
+
+    def _tuned_runner(self, batch_size):
+        """The memoized delegate runner for one tuned configuration."""
+        config = self.tuned.lookup(
+            self.network.name, self.network.n_points, batch_size
+        )
+        if config is None:
+            return None
+        runner = self._tuned_runners.get(config.key())
+        if runner is None:
+            runner = BatchRunner(
+                self.network, cache=self.cache, dtype=self.dtype,
+                program_cache=self.program_cache,
+                **config.runner_kwargs(self.network),
+            )
+            self._tuned_runners[config.key()] = runner
+        return runner
+
     def run(self, clouds):
         """Batched inference over ``clouds`` (list or (B, N, 3) array).
 
         With a kernel ``backend`` configured the stack goes through the
         compiled kernel program; otherwise through the batched graph
         interpreter (:meth:`~repro.networks.base.PointCloudNetwork.forward_batch`).
+        With ``tuned`` configured, the measured winner for the
+        request's shape dispatches first.
         """
+        if self.tuned is not None:
+            runner = self._tuned_runner(self._batch_size(clouds))
+            if runner is not None:
+                return runner.run(clouds)
         if self._kernel_executor is not None:
             # Stack directly in the backend's dtype: the program would
             # cast anyway, and float32 clouds must not round-trip
@@ -223,12 +275,17 @@ class BatchRunner:
     def close(self):
         """Release any pooled resources (idempotent).
 
-        :class:`BatchRunner` itself holds none — this is the uniform
-        drain hook the serving frontend calls on shutdown, so a server
-        can close whichever runner flavor it was handed
+        :class:`BatchRunner` itself holds only the memoized tuned
+        delegates — this is otherwise the uniform drain hook the
+        serving frontend calls on shutdown, so a server can close
+        whichever runner flavor it was handed
         (:class:`~repro.engine.scheduler.AsyncRunner` overrides it to
         shut its worker pools down).
         """
+        delegates = list(self._tuned_runners.values())
+        self._tuned_runners.clear()
+        for runner in delegates:
+            runner.close()
 
     def __enter__(self):
         return self

@@ -229,7 +229,8 @@ _WORKER_STATE = {}
 
 
 def _init_forward_worker(network, strategy, substrate, dtype,
-                         kernel_backend=None, shared_params=None):
+                         kernel_backend=None, shared_params=None,
+                         fusion=()):
     """Pool initializer: unpickle the network once per worker process.
 
     Runs in each worker when the persistent pool starts (and in-process
@@ -254,7 +255,8 @@ def _init_forward_worker(network, strategy, substrate, dtype,
             from ..backend import attach_table
 
             params = attach_table(shared_params)
-        executor = NetworkKernelExecutor(kernel_backend, params=params)
+        executor = NetworkKernelExecutor(kernel_backend, params=params,
+                                         fusion=fusion)
     _WORKER_STATE["network"] = network
     _WORKER_STATE["strategy"] = strategy
     _WORKER_STATE["substrate"] = substrate
@@ -327,14 +329,40 @@ class AsyncRunner(BatchRunner):
         still shares parameters zero-copy through
         ``multiprocessing.shared_memory`` whenever a ``kernel_backend``
         is set.
+    fusion:
+        Kernel fusion flags for the compiled programs (meaningful with
+        ``kernel_backend``); shipped into process-pool workers so they
+        compile the same fused program.
+    tuned:
+        Optional :class:`~repro.tune.TunedTable` (or its JSON form).
+        Resolved once at construction — the pipeline depth
+        (``in_flight``) is the shape hint — and the winning
+        configuration overrides ``strategy`` / ``substrate`` /
+        ``kernel_backend`` / ``fusion`` for every subsequent batch;
+        the resolved config is exposed as ``tuned_config``.
     """
 
     def __init__(self, network, strategy="delayed", substrate="brute",
                  cache=None, dtype=None, max_workers=None, in_flight=None,
-                 backend="thread", kernel_backend=None, program_cache=None):
+                 backend="thread", kernel_backend=None, program_cache=None,
+                 fusion=(), tuned=None):
+        if tuned is not None and not hasattr(tuned, "lookup"):
+            from ..tune import TunedTable
+
+            tuned = TunedTable.from_json(tuned)
+        self.tuned_config = None
+        if tuned is not None:
+            hint = in_flight or max_workers or os.cpu_count() or 1
+            config = tuned.lookup(network.name, network.n_points, int(hint))
+            if config is not None:
+                self.tuned_config = config
+                strategy = config.strategy
+                substrate = config.substrate
+                kernel_backend = config.resolve_backend(network)
+                fusion = config.fusion
         super().__init__(network, strategy=strategy, substrate=substrate,
                          cache=cache, dtype=dtype, backend=kernel_backend,
-                         program_cache=program_cache)
+                         program_cache=program_cache, fusion=fusion)
         if backend not in _BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; expected one of {_BACKENDS}"
@@ -470,7 +498,8 @@ class AsyncRunner(BatchRunner):
                 # Compiles (and stores) on the parent if not cached yet;
                 # workers then only open the memmap.
                 descriptor = self.program_cache.descriptor_for(
-                    self.network, self.strategy, backend
+                    self.network, self.strategy, backend,
+                    fusion=self.fusion,
                 )
             else:
                 if self._shared_table is None:
@@ -499,6 +528,7 @@ class AsyncRunner(BatchRunner):
                 max_workers=self.max_workers, backend="process",
                 persistent=True, initializer=_init_forward_worker,
                 initargs=(network, self.strategy, self.substrate,
-                          self.dtype, self.kernel_backend, shared_params),
+                          self.dtype, self.kernel_backend, shared_params,
+                          self.fusion),
             )
         return self._process_runner.map(network_forward_task, list(batch))

@@ -48,6 +48,34 @@ from .queue import FairQueue, Request, ServeError, ServerClosed
 __all__ = ["ServeResponse", "Server"]
 
 
+def _resolve_tuned(tuned, network, program_cache):
+    """Per-network tuned table for :meth:`Server.hosting`.
+
+    ``True`` loads the network's stored table from the program cache
+    (``None`` when no table was ever tuned); an explicit table (object
+    or JSON) applies only to the network it was tuned for.
+    """
+    if tuned is None or tuned is False:
+        return None
+    from ..tune import TunedTable
+
+    if tuned is True:
+        if program_cache is None:
+            raise ValueError("tuned=True needs a program_cache to load "
+                             "stored tables from")
+        if not hasattr(program_cache, "load_tuned"):
+            from ..backend import ProgramCache
+
+            program_cache = ProgramCache(program_cache)
+        from ..backend import network_fingerprint
+
+        data = program_cache.load_tuned(network.name,
+                                        network_fingerprint(network))
+        return None if data is None else TunedTable.from_json(data)
+    table = tuned if hasattr(tuned, "lookup") else TunedTable.from_json(tuned)
+    return table if table.network in ("", network.name) else None
+
+
 @dataclass
 class ServeResponse:
     """One request's result plus its latency breakdown.
@@ -145,7 +173,7 @@ class Server:
     @classmethod
     def hosting(cls, networks, strategy="delayed", scale=0.125,
                 runner="batch", backend=None, program_cache=None,
-                policy=None, workers=1):
+                policy=None, workers=1, fusion=(), tuned=None):
         """Build a server hosting ``networks`` (names or instances).
 
         The convenience constructor the CLI uses: each network gets its
@@ -158,6 +186,14 @@ class Server:
         parameters, pre-measured arena plans — instead of compiling on
         first request.  One cache serves every hosted network; programs
         are content-addressed, so restarts with unchanged weights hit.
+
+        ``fusion`` forwards kernel fusion flags to every runner (with
+        ``backend``).  ``tuned`` dispatches each network's requests on
+        its measured autotuned table: pass a
+        :class:`~repro.tune.TunedTable` (or its JSON form) to use it
+        for the matching network, or ``True`` to load each network's
+        stored table from ``program_cache`` (networks without a stored
+        table fall back to the fixed configuration).
         """
         from ..engine.runner import BatchRunner
         from ..engine.scheduler import AsyncRunner
@@ -169,15 +205,18 @@ class Server:
         for network in networks:
             net = build_network(network, scale=scale) \
                 if isinstance(network, str) else network
+            net_tuned = _resolve_tuned(tuned, net, program_cache)
             if runner == "async":
                 runners.append(AsyncRunner(
                     net, strategy=strategy, kernel_backend=backend,
-                    program_cache=program_cache,
+                    program_cache=program_cache, fusion=fusion,
+                    tuned=net_tuned,
                 ))
             elif runner == "batch":
                 runners.append(BatchRunner(
                     net, strategy=strategy, backend=backend,
-                    program_cache=program_cache,
+                    program_cache=program_cache, fusion=fusion,
+                    tuned=net_tuned,
                 ))
             else:
                 raise ValueError(

@@ -225,12 +225,22 @@ class TestPasses:
     def test_module_graph_is_memoized(self):
         assert module_graph(SPEC, "delayed") is module_graph(SPEC, "delayed")
 
-    def test_passes_require_original_form(self):
+    def test_strategy_passes_idempotent_but_exclusive(self):
+        # Re-applying a pass to its own output is a structural no-op;
+        # applying the *other* variant's pass to it stays an error.
         delayed = delay_aggregation(build_module_graph(SPEC))
-        with pytest.raises(ValueError):
-            delay_aggregation(delayed)
+        again = delay_aggregation(delayed)
+        assert again.nodes == delayed.nodes
+        assert again.outputs == delayed.outputs
         with pytest.raises(ValueError):
             limit_delay(delayed)
+
+        limited = limit_delay(build_module_graph(SPEC))
+        again = limit_delay(limited)
+        assert again.nodes == limited.nodes
+        assert again.outputs == limited.outputs
+        with pytest.raises(ValueError):
+            delay_aggregation(limited)
 
 
 class TestTraceLowering:
