@@ -28,6 +28,7 @@ from .aot import (
     attach_table,
     network_fingerprint,
     network_skeleton,
+    parameter_descriptor,
     share_table,
 )
 from .array import (
@@ -72,6 +73,7 @@ __all__ = [
     "get_backend",
     "network_fingerprint",
     "network_skeleton",
+    "parameter_descriptor",
     "plan_arena",
     "registered_backends",
     "segment_layers",

@@ -50,6 +50,7 @@ __all__ = [
     "attach_table",
     "network_fingerprint",
     "network_skeleton",
+    "parameter_descriptor",
     "share_table",
 ]
 
@@ -170,19 +171,63 @@ def share_table(table):
     return SharedTable(shm, manifest)
 
 
+def parameter_descriptor(network, strategy, backend, fusion=(),
+                         batched=False, program_cache=None):
+    """One packed parameter source for N zero-copy consumers.
+
+    Returns ``(descriptor, handle)``: the descriptor feeds
+    :func:`attach_table` once per consumer (pool worker, shard
+    replica), and ``handle`` is the owner-side :class:`SharedTable` to
+    ``close(unlink=True)`` after every consumer is done — ``None`` on
+    the program-cache path, where the blob file outlives the callers
+    and the page cache does the sharing.
+
+    This is the single decision point both the async scheduler's
+    process pool and the shard router's replica fleet route through:
+    with ``program_cache`` the table rides the content-addressed
+    ``<digest>.bin`` memmap; without one the parent packs the table
+    once into a shared-memory segment.
+    """
+    backend = get_backend(backend)
+    if program_cache is not None:
+        if not hasattr(program_cache, "descriptor_for"):
+            program_cache = ProgramCache(program_cache)
+        descriptor = program_cache.descriptor_for(
+            network, strategy, backend, batched=batched, fusion=fusion
+        )
+        return descriptor, None
+    ngraph = network.network_graph(strategy)
+    table = ParameterTable.for_graph(ngraph, backend=backend,
+                                     network=network)
+    handle = share_table(table)
+    return handle.descriptor(), handle
+
+
 def _attach_shm(name, foreign=True):
     from multiprocessing import shared_memory
+
+    class _Attached(shared_memory.SharedMemory):
+        # Attached-side mapping only: table views handed to compiled
+        # programs may outlive it, so the implicit close at interpreter
+        # shutdown can see exported buffers.  The owner handle controls
+        # the segment's lifetime and the OS reclaims the mapping at
+        # process exit — that late BufferError is pure noise.
+        def __del__(self):
+            try:
+                super().__del__()
+            except BufferError:
+                pass
 
     try:
         # Python >= 3.13: opt out of resource tracking on attach — the
         # creating process owns the segment's lifetime.
-        return shared_memory.SharedMemory(name=name, track=False)
+        return _Attached(name=name, track=False)
     except TypeError:
         pass
     if not foreign:
         # Attaching in the owner process itself (serial pool degrade):
         # the registration is the owner's own, leave tracking alone.
-        return shared_memory.SharedMemory(name=name)
+        return _Attached(name=name)
     # Pre-3.13 attach registers with the resource tracker, which spawned
     # workers *share* with the parent (spawn passes tracker_fd), so a
     # later unregister here would clobber the owner's registration and
@@ -193,7 +238,7 @@ def _attach_shm(name, foreign=True):
     original_register = resource_tracker.register
     resource_tracker.register = lambda *args, **kwargs: None
     try:
-        return shared_memory.SharedMemory(name=name)
+        return _Attached(name=name)
     finally:
         resource_tracker.register = original_register
 

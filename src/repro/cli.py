@@ -23,8 +23,13 @@ bench [--batch B] [--n-points N] [--output PATH]
     Benchmark the batched inference engine and write BENCH_engine.json.
 bench --serve [--rates R R ...] [--output PATH]
     Open-loop serving latency sweep; writes BENCH_serve.json.
+bench --serve --shards S S ... [--output PATH]
+    Sharded-serving scaling sweep (placement + affinity routing);
+    writes BENCH_shard.json.
 serve [--network N ...] [--max-batch B] [--max-wait-ms D] [--port P]
     Long-lived continuous-batching server (stdin or TCP JSON lines).
+    ``--shards N`` fronts N placement-planned replica servers with the
+    cache-affinity shard router.
 """
 
 from __future__ import annotations
@@ -243,10 +248,51 @@ def _serve_backend(name):
     return None if name == "eager" else name
 
 
+def _cmd_bench_shard(args):
+    from .engine import write_json
+    from .serve import shard_bench_results
+
+    results = shard_bench_results(
+        quick=args.quick,
+        network=args.network,
+        strategy=args.strategy,
+        backend=_serve_backend(args.serve_backend),
+        shard_counts=tuple(args.shards),
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        cache_size=args.cache_size,
+    )
+    row = results["shard"]
+    workload = row["workload"]
+    print(f"shard bench ({workload['backend']} backend, "
+          f"{workload['requests']} requests, "
+          f"{workload['rate_rps']:.1f} rps offered, "
+          f"{workload['cpu_count']} cpu(s))")
+    for cell in row["grid"]:
+        print(f"  shards {cell['shards']:2d}  "
+              f"p50 {cell['p50_ms']:7.2f} ms  "
+              f"p99 {cell['p99_ms']:7.2f} ms  "
+              f"{cell['throughput_rps']:7.1f} rps  "
+              f"scaling {cell['scaling_vs_single']:.2f}x  "
+              f"spilled {cell['spilled']}")
+    print(f"  responses {'ok' if row['responses_ok'] else 'WRONG'} "
+          f"(bit-exact {'yes' if row['responses_exact'] else 'NO'})   "
+          f"ids {'ok' if row['ids_ok'] else 'BROKEN'}   "
+          f"affinity {row['affinity_hit_rate']:.2f} vs "
+          f"random {row['random_hit_rate']:.2f} hit rate "
+          f"({'better' if row['affinity_beats_random'] else 'NOT BETTER'})")
+    output = args.output or "BENCH_shard.json"
+    write_json(results, output)
+    print(f"wrote {output}")
+    return 0
+
+
 def _cmd_bench_serve(args):
     from .engine import write_json
     from .serve import serve_bench_results
 
+    if args.shards:
+        return _cmd_bench_shard(args)
     results = serve_bench_results(
         quick=args.quick,
         network=args.network,
@@ -403,6 +449,7 @@ def _serve_handle_line(server, line, emit):
             "tenant": resp.tenant,
             "output": output,
             "batch_size": resp.batch_size,
+            "shard": resp.shard,
             "queued_ms": round(resp.queued_ms, 3),
             "latency_ms": round(resp.latency_ms, 3),
         })
@@ -411,7 +458,8 @@ def _serve_handle_line(server, line, emit):
 
 
 def _build_server(args):
-    from .serve import BatchPolicy, Server
+    from .engine.cache import NeighborIndexCache
+    from .serve import BatchPolicy, Server, ShardRouter
 
     policy = BatchPolicy(max_batch=args.max_batch,
                          max_wait_ms=args.max_wait_ms,
@@ -419,6 +467,22 @@ def _build_server(args):
     if args.tuned and not args.program_cache:
         raise SystemExit("--tuned needs --program-cache to load stored "
                          "tables from (warm it with 'repro tune')")
+    if args.shards > 1:
+        return ShardRouter.hosting(
+            args.network or ["PointNet++ (c)"],
+            shards=args.shards,
+            strategy=args.strategy,
+            scale=args.scale,
+            runner=args.runner,
+            backend=_serve_backend(args.serve_backend),
+            program_cache=args.program_cache,
+            policy=policy,
+            tuned=args.tuned,
+            cache_size=args.cache_size,
+            memory_budget_mb=args.memory_budget_mb,
+        )
+    cache = NeighborIndexCache(maxsize=args.cache_size) \
+        if args.cache_size else None
     return Server.hosting(
         args.network or ["PointNet++ (c)"],
         strategy=args.strategy,
@@ -429,7 +493,43 @@ def _build_server(args):
         policy=policy,
         workers=args.workers,
         tuned=args.tuned,
+        cache=cache,
     )
+
+
+def _print_serve_stats(stats):
+    """Final stderr counters: totals, cache hit rates, per-shard lines."""
+    print(f"served {stats['completed']} request(s) in "
+          f"{stats['sub_batches']} sub-batch(es) "
+          f"(mean batch {stats['mean_batch']:.2f}, "
+          f"rejected {stats['rejected']}, failed {stats['failed']})",
+          file=sys.stderr)
+    cache = stats.get("cache")
+    if cache:
+        print(f"neighbor-index cache: {cache['hits']} hit(s), "
+              f"{cache['misses']} miss(es), "
+              f"{cache['evictions']} eviction(s) "
+              f"(hit rate {cache['hit_rate']:.2f}, "
+              f"{cache['size']}/{cache['maxsize']} entries)",
+              file=sys.stderr)
+    routing = stats.get("routing")
+    if routing:
+        print(f"routing: {routing['routed']} routed, "
+              f"{routing['affinity_hits']} affinity hit(s), "
+              f"{routing['spilled']} spilled, "
+              f"{routing['rejected']} rejected",
+              file=sys.stderr)
+    for entry in stats.get("per_shard", ()):
+        shard_cache = entry.get("cache", {})
+        hit_rate = shard_cache.get("hit_rate", 0.0)
+        print(f"  shard {entry['shard']}: "
+              f"{entry['completed']} completed, "
+              f"{entry['sub_batches']} sub-batch(es), "
+              f"cache {shard_cache.get('hits', 0)}/"
+              f"{shard_cache.get('misses', 0)} hit/miss "
+              f"(rate {hit_rate:.2f}), "
+              f"{shard_cache.get('evictions', 0)} eviction(s)",
+              file=sys.stderr)
 
 
 def _cmd_serve(args):
@@ -494,12 +594,7 @@ def _cmd_serve(args):
         pass
     finally:
         server.close(drain=True)
-        stats = server.stats()
-        print(f"served {stats['completed']} request(s) in "
-              f"{stats['sub_batches']} sub-batch(es) "
-              f"(mean batch {stats['mean_batch']:.2f}, "
-              f"rejected {stats['rejected']}, failed {stats['failed']})",
-              file=sys.stderr)
+        _print_serve_stats(server.stats())
     return 0
 
 
@@ -657,6 +752,27 @@ def _add_serve_options(parser, bench):
                              "parameters, measured arena plans) and "
                              "first-compiles persist for the next start — "
                              "warm it with 'repro compile'")
+    parser.add_argument("--cache-size", type=int, default=256,
+                        help="total neighbor-index cache entries (0 "
+                             "disables caching; with --shards the budget "
+                             "is partitioned across the replicas)")
+    if bench:
+        parser.add_argument("--shards", type=int, nargs="+", default=None,
+                            metavar="S",
+                            help="with --serve: run the sharded-serving "
+                                 "scaling sweep at these shard counts "
+                                 "instead of the latency sweep (writes "
+                                 "BENCH_shard.json; 1 is always included "
+                                 "as the scaling baseline)")
+    else:
+        parser.add_argument("--shards", type=int, default=1,
+                            help="worker slots the placement planner "
+                                 "bin-packs replicas into; above 1 the "
+                                 "cache-affinity shard router fronts the "
+                                 "replica fleet")
+        parser.add_argument("--memory-budget-mb", type=float, default=None,
+                            help="per-slot working-set budget for the "
+                                 "placement planner (default: unbounded)")
     if not bench:
         parser.add_argument("--tuned", action="store_true",
                             help="dispatch each hosted network on its "

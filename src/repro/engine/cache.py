@@ -30,7 +30,12 @@ import numpy as np
 
 from ..neighbors import ball_query, raw_knn
 
-__all__ = ["NeighborIndexCache", "content_digest"]
+__all__ = [
+    "NeighborIndexCache",
+    "PartitionedIndexCache",
+    "content_digest",
+    "merge_cache_stats",
+]
 
 
 def content_digest(array):
@@ -227,3 +232,74 @@ class NeighborIndexCache:
                               dtype=dtype)
 
         return self._lookup_batch("ball", points, queries, params, compute)
+
+
+def merge_cache_stats(stats_iter):
+    """Sum per-cache :meth:`NeighborIndexCache.stats` dicts into one.
+
+    Counter fields add; ``hit_rate`` is recomputed from the summed
+    hits/misses (a mean of per-cache rates would weight an idle cache
+    the same as a busy one).
+    """
+    merged = {"size": 0, "maxsize": 0, "hits": 0, "misses": 0,
+              "evictions": 0}
+    for stats in stats_iter:
+        for key in merged:
+            merged[key] += stats[key]
+    total = merged["hits"] + merged["misses"]
+    merged["hit_rate"] = merged["hits"] / total if total else 0.0
+    return merged
+
+
+class PartitionedIndexCache:
+    """A :class:`NeighborIndexCache` split into per-shard partitions.
+
+    Replicated servers used to mean duplicated caches: every worker
+    re-built (and separately evicted) the same neighbor indices.  This
+    wrapper instead divides one cache budget into ``shards`` disjoint
+    LRUs — the shard router's affinity routing keeps each cloud's
+    lookups on one shard, so across the fleet every index is built and
+    stored once, and the aggregate capacity covers ``shards`` times as
+    many distinct clouds as any single replica could hold.
+
+    :meth:`shard` hands partition ``i`` to replica ``i``'s runner;
+    :meth:`stats` reports both the aggregate counters and the
+    per-shard breakdown the shard-aware server stats surface.
+    """
+
+    def __init__(self, shards, maxsize=256):
+        shards = int(shards)
+        if shards <= 0:
+            raise ValueError("shards must be positive")
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = int(maxsize)
+        # Budget splits across partitions; every shard gets at least
+        # one slot so a tiny budget still caches *something* per shard.
+        per_shard = max(1, self.maxsize // shards)
+        self._shards = tuple(
+            NeighborIndexCache(per_shard) for _ in range(shards)
+        )
+
+    @property
+    def n_shards(self):
+        return len(self._shards)
+
+    def __len__(self):
+        return sum(len(shard) for shard in self._shards)
+
+    def shard(self, index):
+        """The :class:`NeighborIndexCache` partition for shard ``index``."""
+        return self._shards[index]
+
+    def clear(self):
+        for shard in self._shards:
+            shard.clear()
+
+    def stats(self):
+        """Aggregate counters plus the ``per_shard`` breakdown."""
+        per_shard = [shard.stats() for shard in self._shards]
+        merged = merge_cache_stats(per_shard)
+        merged["shards"] = len(per_shard)
+        merged["per_shard"] = per_shard
+        return merged

@@ -20,6 +20,7 @@ The module-level ``*_task`` helpers are defined at import scope so the
 from __future__ import annotations
 
 import os
+import threading
 import time
 import warnings
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
@@ -64,6 +65,8 @@ class ParallelRunner:
         self.initargs = tuple(initargs)
         self.persistent = bool(persistent)
         self._pool = None
+        self._inflight = set()
+        self._inflight_lock = threading.Lock()
 
     def _pool_kwargs(self):
         kwargs = {"max_workers": self.max_workers}
@@ -145,7 +148,7 @@ class ParallelRunner:
         try:
             if self._pool is None:
                 self._pool = self._make_pool()
-            return self._pool.submit(fn, *args)
+            return self._track(self._pool.submit(fn, *args))
         except (OSError, PermissionError, RuntimeError) as exc:
             if self._pool is not None:
                 self._pool.shutdown(wait=False)
@@ -156,6 +159,29 @@ class ParallelRunner:
                 stacklevel=2,
             )
             return self._inline_future(fn, args)
+
+    def _track(self, future):
+        """Count ``future`` in :meth:`pending` until it resolves."""
+        with self._inflight_lock:
+            self._inflight.add(future)
+        future.add_done_callback(self._untrack)
+        return future
+
+    def _untrack(self, future):
+        with self._inflight_lock:
+            self._inflight.discard(future)
+
+    def pending(self):
+        """How many :meth:`submit` futures have not resolved yet.
+
+        The shard router's stats read this as the shared dispatch
+        pool's live depth — queued-plus-running sub-batches across
+        every replica, the saturation signal a placement rebalance
+        would key on.  Inline-degraded submits resolve before they
+        return, so they never count.
+        """
+        with self._inflight_lock:
+            return len(self._inflight)
 
     def warm(self):
         """Spin every worker up now; returns the spin-up seconds.

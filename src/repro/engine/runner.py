@@ -118,6 +118,12 @@ class BatchRunner:
         when the compiled programs are built.  Only meaningful together
         with ``backend`` — the graph interpreter never sees fused
         graphs.
+    params:
+        Optional pre-built :class:`~repro.backend.params.ParameterTable`
+        (e.g. attached zero-copy from a shared-memory descriptor or the
+        program cache) the compiled programs read through instead of
+        exporting this runner's own copy of the weights.  Only
+        meaningful together with ``backend``; its dtype must match.
     tuned:
         Optional :class:`~repro.tune.TunedTable` (or its JSON form).
         Each :meth:`run` then dispatches on the measured winner for the
@@ -130,7 +136,7 @@ class BatchRunner:
 
     def __init__(self, network, strategy="delayed", substrate="brute",
                  cache=None, dtype=None, backend=None, program_cache=None,
-                 fusion=(), tuned=None):
+                 fusion=(), tuned=None, params=None):
         if strategy not in STRATEGIES:
             raise ValueError(f"unknown strategy {strategy!r}")
         self.network = network
@@ -158,12 +164,19 @@ class BatchRunner:
             tuned = TunedTable.from_json(tuned)
         self.tuned = tuned
         self._tuned_runners = {}
+        #: Optional pre-built (possibly zero-copy-attached)
+        #: :class:`~repro.backend.params.ParameterTable` the compiled
+        #: programs read through instead of re-exporting the network's
+        #: weights — the shard-replica path, where N runners share one
+        #: packed table.  Only meaningful together with ``backend``.
+        self.params = params
         self._kernel_executor = None
         if backend is not None:
             from ..backend import NetworkKernelExecutor
 
             self._kernel_executor = NetworkKernelExecutor(
-                backend, program_cache=program_cache, fusion=self.fusion
+                backend, params=params, program_cache=program_cache,
+                fusion=self.fusion,
             )
         self._plan = None
 

@@ -345,7 +345,7 @@ class AsyncRunner(BatchRunner):
     def __init__(self, network, strategy="delayed", substrate="brute",
                  cache=None, dtype=None, max_workers=None, in_flight=None,
                  backend="thread", kernel_backend=None, program_cache=None,
-                 fusion=(), tuned=None):
+                 fusion=(), tuned=None, params=None):
         if tuned is not None and not hasattr(tuned, "lookup"):
             from ..tune import TunedTable
 
@@ -362,7 +362,8 @@ class AsyncRunner(BatchRunner):
                 fusion = config.fusion
         super().__init__(network, strategy=strategy, substrate=substrate,
                          cache=cache, dtype=dtype, backend=kernel_backend,
-                         program_cache=program_cache, fusion=fusion)
+                         program_cache=program_cache, fusion=fusion,
+                         params=params)
         if backend not in _BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; expected one of {_BACKENDS}"
@@ -485,30 +486,21 @@ class AsyncRunner(BatchRunner):
         """
         if self.kernel_backend is None:
             return self.network, None
-        from ..backend import (
-            ParameterTable,
-            get_backend,
-            network_skeleton,
-            share_table,
-        )
+        from ..backend import network_skeleton, parameter_descriptor
 
         try:
-            backend = get_backend(self.kernel_backend)
-            if self.program_cache is not None:
-                # Compiles (and stores) on the parent if not cached yet;
-                # workers then only open the memmap.
-                descriptor = self.program_cache.descriptor_for(
-                    self.network, self.strategy, backend,
-                    fusion=self.fusion,
-                )
-            else:
-                if self._shared_table is None:
-                    ngraph = self.network.network_graph(self.strategy)
-                    table = ParameterTable.for_graph(
-                        ngraph, backend=backend, network=self.network
-                    )
-                    self._shared_table = share_table(table)
+            if self._shared_table is not None:
+                # Re-warming the pool: the segment already exists.
                 descriptor = self._shared_table.descriptor()
+            else:
+                # Compiles (and stores) on the parent if not cached yet;
+                # workers then only open the memmap (program-cache path)
+                # or attach the freshly-packed shm segment.
+                descriptor, handle = parameter_descriptor(
+                    self.network, self.strategy, self.kernel_backend,
+                    fusion=self.fusion, program_cache=self.program_cache,
+                )
+                self._shared_table = handle
             return network_skeleton(self.network), descriptor
         except (OSError, ValueError, RuntimeError) as exc:
             warnings.warn(

@@ -12,24 +12,56 @@ loop; :func:`bench_serve` replays open-loop Poisson arrivals against it
 and reports p50/p99 latency and throughput per (rate, policy), with
 responses gated bit-exact against direct
 :class:`~repro.engine.runner.BatchRunner` calls.
+
+Sharded serving layers on top (:mod:`repro.serve.shard`):
+:func:`plan_placement` bin-packs (network, shape-class) replicas onto
+worker slots by measured working-set bytes, and :class:`ShardRouter`
+fronts the resulting replica :class:`Server` fleet — routing each
+request to its shape class, with consistent-hash cache affinity so
+repeated clouds land on the shard whose partition of the neighbor-index
+cache already holds their index.  :func:`bench_shard` measures the
+throughput scaling story at 1/2/4 shards.
 """
 
 from .batcher import BatchPolicy, gather, split_by_shape
-from .harness import bench_serve, serve_bench_results
+from .harness import (
+    bench_serve,
+    bench_shard,
+    serve_bench_results,
+    shard_bench_results,
+)
 from .queue import FairQueue, QueueFull, Request, ServeError, ServerClosed
 from .server import Server, ServeResponse
+from .shard import (
+    HashRing,
+    PlacementError,
+    PlacementPlan,
+    Replica,
+    ShardRouter,
+    plan_placement,
+    replica_working_set,
+)
 
 __all__ = [
     "BatchPolicy",
     "FairQueue",
+    "HashRing",
+    "PlacementError",
+    "PlacementPlan",
     "QueueFull",
+    "Replica",
     "Request",
     "ServeError",
     "ServeResponse",
     "Server",
     "ServerClosed",
+    "ShardRouter",
     "bench_serve",
+    "bench_shard",
     "gather",
+    "plan_placement",
+    "replica_working_set",
     "serve_bench_results",
+    "shard_bench_results",
     "split_by_shape",
 ]

@@ -27,6 +27,7 @@ timings it records the deterministic correctness story CI gates on:
 
 from __future__ import annotations
 
+import os
 import time
 from threading import Thread
 
@@ -45,7 +46,8 @@ from .batcher import BatchPolicy
 from .queue import QueueFull
 from .server import Server
 
-__all__ = ["bench_serve", "serve_bench_results"]
+__all__ = ["bench_serve", "bench_shard", "serve_bench_results",
+           "shard_bench_results"]
 
 
 def _default_policies(max_batch, max_wait_ms, max_queue):
@@ -232,6 +234,209 @@ def bench_serve(network="PointNet++ (c)", scale=0.0625, strategy="delayed",
         "p99_batched_worst_ms": float(max(batched_p99)) if batched_p99
         else float("nan"),
     }
+
+
+def _affinity_hit_rate(mode, network, shards, sequence, clouds, policy,
+                       strategy, backend, cache_size, seed):
+    """Aggregate neighbor-cache hit rate for one routing mode.
+
+    The sequence is submitted synchronously — one request at a time —
+    so the hit/miss counts are deterministic: no concurrent sub-batch
+    can compute a cloud's index twice before either install lands.
+    """
+    from .shard import ShardRouter
+
+    router = ShardRouter.hosting(
+        network, shards=shards, strategy=strategy, backend=backend,
+        policy=policy, cache_size=cache_size, affinity=mode, seed=seed,
+    )
+    with router:
+        for i, cloud_index in enumerate(sequence):
+            router.request(clouds[cloud_index], request_id=f"a{i}",
+                           timeout=60.0)
+        stats = router.stats()["cache"]
+    return stats["hit_rate"]
+
+
+def bench_shard(network="PointNet++ (c)", scale=0.0625, strategy="delayed",
+                backend=None, shard_counts=(1, 2, 4), rate=None,
+                requests=64, distinct_clouds=6, tenants=4, max_batch=8,
+                max_wait_ms=4.0, max_queue=4096, cache_size=1024,
+                affinity_passes=3, seed=0):
+    """Open-loop scaling sweep over shard counts — the ``shard`` row.
+
+    One Poisson schedule (auto-rated to ~3x a single dispatch
+    pipeline's batched capacity unless ``rate`` pins it, so the single
+    server saturates and extra shards have headroom to show) replays
+    against a :class:`~repro.serve.shard.ShardRouter` fleet at each
+    shard count; ``shards=1`` is always included as the single-server
+    baseline every other cell's ``scaling_vs_single`` divides by.
+
+    Alongside the timings the row records the deterministic gates:
+
+    * every response bit-exact against a direct
+      :class:`~repro.engine.runner.BatchRunner` replay of the *same
+      formed sub-batch* (identical program and stack, exactly as the
+      ``serve`` row checks — sharding must not change a single bit);
+    * no request ID dropped or duplicated across the whole sweep;
+    * cache-affinity routing's aggregate
+      :class:`~repro.engine.cache.NeighborIndexCache` hit rate strictly
+      above random routing's on a repeated-cloud workload (submitted
+      sequentially so the counter comparison is deterministic).
+    """
+    shard_counts = tuple(sorted(set(int(s) for s in shard_counts) | {1}))
+    if min(shard_counts) < 1:
+        raise ValueError("shard counts must be positive")
+    net = build_network(network, scale=scale)
+    rng = np.random.default_rng(seed)
+    clouds = rng.normal(size=(distinct_clouds, net.n_points, 3))
+
+    direct = BatchRunner(net, strategy=strategy, backend=backend)
+    reference = direct.run(clouds).per_cloud()
+    stack = np.stack([clouds[i % distinct_clouds] for i in range(max_batch)])
+    direct_batch_ms = _best_ms(lambda: direct.run(stack), 2)
+    if rate is None:
+        # ~3x one pipeline's perfectly-batched capacity: enough backlog
+        # to saturate the single-server baseline without drowning it.
+        rate = 3.0 * max_batch / max(direct_batch_ms / 1e3, 1e-6)
+    schedule = np.cumsum(rng.exponential(1.0 / rate, size=requests))
+    policy = BatchPolicy(max_batch=max_batch, max_wait_ms=max_wait_ms,
+                         max_queue=max_queue)
+
+    from .shard import ShardRouter
+
+    grid = []
+    exact = top1 = ids_ok = True
+    rel_err = 0.0
+    for shards in shard_counts:
+        router = ShardRouter.hosting(
+            net, shards=shards, strategy=strategy, backend=backend,
+            policy=policy, cache_size=cache_size, seed=seed,
+        )
+        with router:
+            responses, latencies, rejected, makespan = _replay(
+                router, clouds, schedule, tenants
+            )
+            stats = router.stats()
+        ids = [resp.request_id for resp in responses.values()]
+        ids_ok &= len(ids) == len(set(ids))
+        ids_ok &= len(responses) + len(rejected) == requests
+        ids_ok &= all(responses[i].request_id == f"q{i}" for i in responses)
+        # Bit-exact replay of each formed sub-batch on a direct runner:
+        # identical program, identical stack — the shard that served it
+        # is irrelevant to the bits, so any deviation is a routing or
+        # demux bug, never BLAS blocking noise.
+        replayed = {}
+        for i, resp in responses.items():
+            if resp.batch_ids not in replayed:
+                members = [int(rid[1:]) for rid in resp.batch_ids]
+                batch = np.stack(
+                    [clouds[m % distinct_clouds] for m in members]
+                )
+                replayed[resp.batch_ids] = dict(zip(
+                    resp.batch_ids, direct.run(batch).per_cloud()
+                ))
+            exact &= _outputs_equal(
+                replayed[resp.batch_ids][resp.request_id], resp.output
+            )
+            ref = reference[i % distinct_clouds]
+            top1 &= _argmax_equal(ref, resp.output)
+            rel_err = max(rel_err, _max_rel_err(ref, resp.output))
+        per_shard = []
+        for entry in stats["per_shard"]:
+            cache_stats = entry.get("cache", {})
+            per_shard.append({
+                "shard": entry["shard"],
+                "completed": entry["completed"],
+                "sub_batches": entry["sub_batches"],
+                # Peak admitted depth during the run — the live depth
+                # is always 0 once every future has resolved.
+                "queue_depth": entry["max_depth"],
+                "hits": cache_stats.get("hits", 0),
+                "misses": cache_stats.get("misses", 0),
+                "hit_rate": cache_stats.get("hit_rate", 0.0),
+            })
+        grid.append({
+            "shards": shards,
+            "replicas": len(stats["per_shard"]),
+            "offered": requests,
+            "completed": len(responses),
+            "rejected": len(rejected),
+            "p50_ms": float(np.percentile(latencies, 50)),
+            "p99_ms": float(np.percentile(latencies, 99)),
+            "mean_ms": float(latencies.mean()),
+            "throughput_rps": len(responses) / max(makespan, 1e-9),
+            "mean_batch": stats["mean_batch"],
+            "spilled": stats["routing"]["spilled"],
+            "per_shard": per_shard,
+        })
+    single = next(c for c in grid if c["shards"] == 1)["throughput_rps"]
+    for cell in grid:
+        cell["scaling_vs_single"] = cell["throughput_rps"] / single \
+            if single > 0 else 0.0
+
+    # Affinity vs random routing on a repeated-cloud workload, at the
+    # smallest multi-shard count (2 unless the sweep skips it).
+    affinity_shards = min((s for s in shard_counts if s > 1), default=2)
+    sequence = [
+        int(i) for _ in range(affinity_passes)
+        for i in rng.permutation(distinct_clouds)
+    ]
+    affinity_rate = _affinity_hit_rate(
+        "content", net, affinity_shards, sequence, clouds, policy,
+        strategy, backend, cache_size, seed,
+    )
+    random_rate = _affinity_hit_rate(
+        "random", net, affinity_shards, sequence, clouds, policy,
+        strategy, backend, cache_size, seed,
+    )
+
+    scaling_2shard = next(
+        (c["scaling_vs_single"] for c in grid if c["shards"] == 2), None
+    )
+    backend_name = getattr(backend, "name", backend) or "eager-float64"
+    fast_path = backend_name in ("float32", "int8")
+    return {
+        "workload": {
+            "network": network,
+            "strategy": strategy,
+            "scale": scale,
+            "n_points": net.n_points,
+            "backend": backend_name,
+            "requests": requests,
+            "distinct_clouds": distinct_clouds,
+            "tenants": tenants,
+            "rate_rps": float(rate),
+            "max_batch": max_batch,
+            "cache_size": cache_size,
+            "shard_counts": list(shard_counts),
+            "cpu_count": int(os.cpu_count() or 1),
+        },
+        "baseline": "single-Server continuous batching on the same "
+                    "open-loop schedule",
+        "direct_batch_ms": direct_batch_ms,
+        "grid": grid,
+        "responses_exact": bool(exact),
+        "responses_top1": bool(top1),
+        "responses_ok": bool(exact and top1) if fast_path else bool(exact),
+        "max_rel_err_vs_full_batch": float(rel_err),
+        "ids_ok": bool(ids_ok),
+        "scaling_2shard": scaling_2shard,
+        "affinity_shards": affinity_shards,
+        "affinity_hit_rate": float(affinity_rate),
+        "random_hit_rate": float(random_rate),
+        "affinity_beats_random": bool(affinity_rate > random_rate),
+    }
+
+
+def shard_bench_results(quick=False, **kwargs):
+    """``{"meta": ..., "shard": ...}`` — the ``BENCH_shard.json`` payload."""
+    if quick:
+        kwargs.setdefault("requests", 32)
+        kwargs.setdefault("shard_counts", (1, 2))
+        kwargs.setdefault("affinity_passes", 2)
+        kwargs.setdefault("scale", 0.03125)
+    return {"meta": bench_meta(quick), "shard": bench_shard(**kwargs)}
 
 
 def serve_bench_results(quick=False, **kwargs):

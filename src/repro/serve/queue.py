@@ -17,7 +17,10 @@ here:
   requests) and B (one), B's request rides the very next batch.
 * **Graceful close** — :meth:`FairQueue.close` rejects new arrivals
   with :class:`ServerClosed` while letting the dispatcher drain what
-  was already admitted.
+  was already admitted; ``close(reject=True)`` instead removes the
+  pending requests atomically with the close, so a non-drain shutdown
+  can fail them deterministically (the dispatcher can never race it
+  to a ``take``).
 """
 
 from __future__ import annotations
@@ -168,16 +171,27 @@ class FairQueue:
                 self._nonempty.wait(remaining)
             return self._depth
 
-    def close(self):
-        """Stop admitting; wake every waiter so the dispatcher drains."""
+    def close(self, reject=False):
+        """Stop admitting; wake every waiter so the dispatcher exits.
+
+        ``reject=True`` additionally removes everything still pending
+        — atomically with the close, under the same lock — and returns
+        it so the caller can fail those requests.  The atomicity is
+        the non-drain shutdown contract: closing and draining in two
+        steps would let the woken dispatcher ``take`` (and serve) a
+        request that the caller is about to reject, making
+        ``close(drain=False)`` semantics depend on thread timing.
+        Returns the rejected requests (always empty without
+        ``reject``).
+        """
         with self._nonempty:
             self._closed = True
+            rejected = []
+            if reject:
+                rejected = [
+                    req for lane in self._lanes.values() for req in lane
+                ]
+                self._lanes.clear()
+                self._depth = 0
             self._nonempty.notify_all()
-
-    def drain_rejected(self):
-        """Remove everything still pending (non-drain shutdown path)."""
-        with self._lock:
-            pending = [req for lane in self._lanes.values() for req in lane]
-            self._lanes.clear()
-            self._depth = 0
-        return pending
+        return rejected

@@ -37,10 +37,12 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+from concurrent.futures import wait as _wait_futures
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..engine.cache import merge_cache_stats
 from ..engine.parallel import ParallelRunner
 from .batcher import BatchPolicy, gather, split_by_shape
 from .queue import FairQueue, Request, ServeError, ServerClosed
@@ -98,6 +100,11 @@ class ServeResponse:
     queued_ms: float
     service_ms: float
     latency_ms: float
+    #: Which replica served the request — 0 for a standalone server,
+    #: the owning replica's shard id behind a
+    #: :class:`~repro.serve.shard.ShardRouter` (exact-replay checks
+    #: use it to pick the runner that actually formed the sub-batch).
+    shard: int = 0
 
     @property
     def batch_size(self):
@@ -126,13 +133,25 @@ class Server:
         no pools anywhere.  More workers drain sub-batches through a
         persistent thread :class:`~repro.engine.parallel.ParallelRunner`
         so a slow batch does not block the next shape group.
+    dispatch:
+        An externally-owned persistent
+        :class:`~repro.engine.parallel.ParallelRunner` to drain
+        sub-batches through instead of building one — how a
+        :class:`~repro.serve.shard.ShardRouter`'s replicas share one
+        pool.  The server never closes an external pool; its own
+        :meth:`close` just waits for the sub-batches *it* submitted.
+        Mutually exclusive with ``workers > 1``.
+    shard:
+        Replica id stamped on every :class:`ServeResponse` (default 0;
+        the shard router numbers its replicas with it).
 
     The server starts its dispatcher immediately and serves until
     :meth:`close`.  Use it as a context manager for the
     drain-then-shutdown path.
     """
 
-    def __init__(self, runners, policy=None, workers=1):
+    def __init__(self, runners, policy=None, workers=1, dispatch=None,
+                 shard=0):
         if not isinstance(runners, (list, tuple)):
             runners = [runners]
         if not runners:
@@ -150,12 +169,30 @@ class Server:
         if int(workers) < 1:
             raise ValueError("workers must be positive")
         self.workers = int(workers)
+        self.shard = int(shard)
         self._queue = FairQueue(max_queue=self.policy.max_queue)
-        self._dispatch = None
-        if self.workers > 1:
+        self._owns_dispatch = dispatch is None
+        self._dispatch = dispatch
+        if dispatch is not None:
+            if self.workers > 1:
+                raise ValueError(
+                    "pass either workers or an external dispatch pool, "
+                    "not both"
+                )
+            if not dispatch.persistent:
+                raise ValueError(
+                    "an external dispatch pool must be persistent — "
+                    "submit() futures outlive per-call pools"
+                )
+            self.workers = dispatch.max_workers
+        elif self.workers > 1:
             self._dispatch = ParallelRunner(
                 max_workers=self.workers, backend="thread", persistent=True
             )
+        #: Sub-batch futures in flight on the dispatch pool.  close()
+        #: waits on these instead of closing the pool, which it may
+        #: not own.
+        self._pending = set()
         self._ids = itertools.count()
         self._lock = threading.Lock()
         self._stats = {
@@ -173,7 +210,8 @@ class Server:
     @classmethod
     def hosting(cls, networks, strategy="delayed", scale=0.125,
                 runner="batch", backend=None, program_cache=None,
-                policy=None, workers=1, fusion=(), tuned=None):
+                policy=None, workers=1, fusion=(), tuned=None,
+                cache=None):
         """Build a server hosting ``networks`` (names or instances).
 
         The convenience constructor the CLI uses: each network gets its
@@ -194,6 +232,12 @@ class Server:
         for the matching network, or ``True`` to load each network's
         stored table from ``program_cache`` (networks without a stored
         table fall back to the fixed configuration).
+
+        ``cache`` plugs one
+        :class:`~repro.engine.cache.NeighborIndexCache` (it is
+        thread-safe) into every hosted runner, so repeated clouds skip
+        their neighbor searches; :meth:`stats` then reports its
+        hit/miss/eviction counters.
         """
         from ..engine.runner import BatchRunner
         from ..engine.scheduler import AsyncRunner
@@ -210,13 +254,13 @@ class Server:
                 runners.append(AsyncRunner(
                     net, strategy=strategy, kernel_backend=backend,
                     program_cache=program_cache, fusion=fusion,
-                    tuned=net_tuned,
+                    tuned=net_tuned, cache=cache,
                 ))
             elif runner == "batch":
                 runners.append(BatchRunner(
                     net, strategy=strategy, backend=backend,
                     program_cache=program_cache, fusion=fusion,
-                    tuned=net_tuned,
+                    tuned=net_tuned, cache=cache,
                 ))
             else:
                 raise ValueError(
@@ -272,7 +316,14 @@ class Server:
         return self.submit(cloud, request_id, tenant).result(timeout)
 
     def stats(self):
-        """Snapshot of serving counters (plus live queue depth)."""
+        """Snapshot of serving counters (plus live queue depth).
+
+        When any hosted runner carries a
+        :class:`~repro.engine.cache.NeighborIndexCache`, the snapshot
+        gains a ``cache`` entry with the summed hit/miss/eviction
+        counters (distinct cache objects counted once even when shared
+        across runners).
+        """
         with self._lock:
             snapshot = dict(self._stats)
         snapshot["queue_depth"] = len(self._queue)
@@ -280,6 +331,15 @@ class Server:
             snapshot["batched_requests"] / snapshot["sub_batches"]
             if snapshot["sub_batches"] else 0.0
         )
+        caches = {
+            id(runner.cache): runner.cache
+            for runner in self._routes.values()
+            if getattr(runner, "cache", None) is not None
+        }
+        if caches:
+            snapshot["cache"] = merge_cache_stats(
+                cache.stats() for cache in caches.values()
+            )
         return snapshot
 
     # -- dispatch ------------------------------------------------------------
@@ -295,7 +355,14 @@ class Server:
                 if self._dispatch is None:
                     self._run_group(group)
                 else:
-                    self._dispatch.submit(self._run_group, group)
+                    future = self._dispatch.submit(self._run_group, group)
+                    with self._lock:
+                        self._pending.add(future)
+                    future.add_done_callback(self._discard_pending)
+
+    def _discard_pending(self, future):
+        with self._lock:
+            self._pending.discard(future)
 
     def _run_group(self, group):
         """One same-shape sub-batch through its runner, fan results out."""
@@ -329,6 +396,7 @@ class Server:
                 queued_ms=(dispatch_start - req.arrival) * 1e3,
                 service_ms=(done - dispatch_start) * 1e3,
                 latency_ms=(done - req.arrival) * 1e3,
+                shard=self.shard,
             ))
 
     # -- shutdown ------------------------------------------------------------
@@ -340,21 +408,36 @@ class Server:
         in-flight *and* still-queued requests all resolve — before the
         pools release.  ``drain=False`` fails queued requests with
         :class:`~repro.serve.queue.ServerClosed` (in-flight sub-batches
-        still complete; the runner call cannot be interrupted).
+        still complete; the runner call cannot be interrupted).  The
+        queue close and the rejection happen atomically, so a non-drain
+        close both returns without waiting out the batching deadline
+        (the dispatcher is woken directly) and never races the
+        dispatcher into serving a request it was meant to fail.
+
+        With an external ``dispatch`` pool the server waits for the
+        sub-batches it submitted but leaves the pool running — the
+        shard router owns that pool's lifetime and closes it after
+        every replica has drained.
         """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-        self._queue.close()
-        if not drain:
-            for req in self._queue.drain_rejected():
-                if req.future.set_running_or_notify_cancel():
-                    req.future.set_exception(
-                        ServerClosed("server closed before dispatch")
-                    )
+        # reject=True removes still-pending requests under the queue
+        # lock in the same step that closes admission: the dispatcher
+        # wakes to an empty, closed queue and exits immediately instead
+        # of serving (or timing out on) what we are about to fail.
+        for req in self._queue.close(reject=not drain):
+            if req.future.set_running_or_notify_cancel():
+                req.future.set_exception(
+                    ServerClosed("server closed before dispatch")
+                )
         self._thread.join()
-        if self._dispatch is not None:
+        with self._lock:
+            pending = list(self._pending)
+        if pending:
+            _wait_futures(pending)
+        if self._dispatch is not None and self._owns_dispatch:
             self._dispatch.close()  # blocks until submitted groups drain
         for runner in self._routes.values():
             runner.close()

@@ -249,6 +249,27 @@ class TestServerEdgeCases:
         with pytest.raises(ServerClosed):
             server.submit(stub_cloud())
 
+    def test_non_drain_close_returns_without_waiting_deadline(self):
+        # Regression: close(drain=False) used to race the dispatcher —
+        # queue.close() woke it and it could gather() the still-queued
+        # requests (waiting out max_wait_ms) before drain_rejected ran.
+        # The atomic close-and-reject means a huge deadline cannot
+        # stall a non-drain shutdown.
+        runner = StubRunner()
+        policy = BatchPolicy(max_batch=64, max_wait_ms=60_000.0,
+                             max_queue=64)
+        server = Server(runner, policy=policy)
+        futures = [server.submit(stub_cloud(value=i)) for i in range(5)]
+        start = time.perf_counter()
+        server.close(drain=False)
+        assert time.perf_counter() - start < 5.0  # not ~60 s
+        # Every queued request fails deterministically: none may sneak
+        # into a final batch on a non-drain close.
+        for future in futures:
+            with pytest.raises(ServerClosed):
+                future.result(timeout=TIMEOUT)
+        assert runner.calls == []
+
     def test_single_worker_serial_degrade(self, small_net, small_clouds):
         reference = BatchRunner(small_net)
         serial = Server(BatchRunner(small_net),
